@@ -1,0 +1,69 @@
+"""E4 — Fig. 10: multicore insertion throughput (1-8 cores).
+
+Protocol: hollywood-like stream, interval-partitioned GraphTinker and
+STINGER instances (Sec. III.D); per-batch parallel time is the makespan
+(max over partitions) of the modeled per-partition cost — the critical
+path of the paper's shared-nothing parallelisation.
+
+Expected shapes: throughput rises with core count for both systems;
+GraphTinker beats STINGER at every core count; STINGER's per-run
+degradation (first batch -> last batch) stays far worse than
+GraphTinker's at every core count (the paper's 3.4 -> 1 Medges/s
+example at 8 cores).
+"""
+
+import pytest
+
+from repro.bench.costmodel import DEFAULT_COST_MODEL as MODEL
+from repro.bench.harness import parallel_insertion_run
+from repro.bench.reporting import Table
+from repro.core.parallel import PartitionedGraphTinker, PartitionedStinger
+
+from _common import emit, stream_for
+
+CORES = [1, 2, 4, 8]
+
+
+def run_all():
+    out = {}
+    for cores in CORES:
+        for kind, cls in (("graphtinker", PartitionedGraphTinker),
+                          ("stinger", PartitionedStinger)):
+            stream = stream_for("hollywood_like", n_batches=6)
+            store = cls(cores)
+            ms = parallel_insertion_run(store, stream)
+            series = [m.modeled_throughput(MODEL) for m in ms]
+            out[(kind, cores)] = series
+    return out
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_multicore_update_throughput(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 10: update throughput vs core count (hollywood_like)",
+        ["system", "cores", "first-batch", "last-batch", "mean", "degradation"],
+    )
+    means = {}
+    for kind in ("graphtinker", "stinger"):
+        for cores in CORES:
+            series = results[(kind, cores)]
+            mean = sum(series) / len(series)
+            means[(kind, cores)] = mean
+            degradation = (series[0] - series[-1]) / series[0]
+            table.add_row([kind, cores, series[0], series[-1], mean, degradation])
+    emit(table)
+
+    for cores in CORES:
+        # GraphTinker wins at every core count.
+        assert means[("graphtinker", cores)] > means[("stinger", cores)]
+    for kind in ("graphtinker", "stinger"):
+        # More cores -> more throughput (monotone in this shared-nothing model).
+        assert means[(kind, 8)] > means[(kind, 1)]
+    # STINGER deteriorates across batches much faster than GraphTinker at 8 cores.
+    st8 = results[("stinger", 8)]
+    gt8 = results[("graphtinker", 8)]
+    st_deg = (st8[0] - st8[-1]) / st8[0]
+    gt_deg = (gt8[0] - gt8[-1]) / gt8[0]
+    assert st_deg > gt_deg

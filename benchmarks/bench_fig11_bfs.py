@@ -1,0 +1,16 @@
+"""E5 — Fig. 11: BFS throughput, GraphTinker vs STINGER vs engine modes."""
+
+import pytest
+
+from repro.engine.algorithms import BFS
+
+from _analytics import report_and_check, run_figure
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_bfs_throughput(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_figure(BFS, needs_roots=True, undirected=False),
+        rounds=1, iterations=1,
+    )
+    report_and_check(results, "Fig. 11", "BFS")

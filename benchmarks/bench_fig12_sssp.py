@@ -1,0 +1,16 @@
+"""E6 — Fig. 12: SSSP throughput, GraphTinker vs STINGER vs engine modes."""
+
+import pytest
+
+from repro.engine.algorithms import SSSP
+
+from _analytics import report_and_check, run_figure
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_sssp_throughput(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_figure(SSSP, needs_roots=True, undirected=False, weighted=True),
+        rounds=1, iterations=1,
+    )
+    report_and_check(results, "Fig. 12", "SSSP")

@@ -1,0 +1,20 @@
+"""E7 — Fig. 13: CC throughput, GraphTinker vs STINGER vs engine modes.
+
+Connected components runs on the symmetrised stream (weak-connectivity
+ingestion convention; see repro.engine.algorithms.cc).
+"""
+
+import pytest
+
+from repro.engine.algorithms import ConnectedComponents
+
+from _analytics import report_and_check, run_figure
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_cc_throughput(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_figure(ConnectedComponents, needs_roots=False, undirected=True),
+        rounds=1, iterations=1,
+    )
+    report_and_check(results, "Fig. 13", "CC")

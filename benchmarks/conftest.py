@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+The figure benches are stateful and expensive, so each wall-clock
+measurement runs pedantically (one round); the primary reproduction
+metric is the modeled throughput printed in each bench's table (see
+DESIGN.md §1).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow `import _common` from any benchmark file regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Flush every bench's paper-style result table to the terminal.
+
+    pytest's fd-level capture swallows in-test prints on passing runs;
+    queuing the rendered tables and dumping them here guarantees they
+    appear in the session output (and in any ``tee``'d log).
+    """
+    import _common
+
+    if not _common.REPORTS:
+        return
+    terminalreporter.section("paper reproduction tables")
+    for text in _common.REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

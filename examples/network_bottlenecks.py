@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Network capacity planning: widest paths and route extraction.
+
+An ISP-style scenario: a backbone graph whose edge weights are link
+capacities.  Operations wants, from a core router, (1) the maximum
+bottleneck bandwidth reachable to every node (SSWP), (2) concrete routes
+realising shortest paths (path reconstruction), and (3) how both change
+as links are upgraded — exercising the SSWP extension program and the
+witness-based path module on a live store.
+
+Run:  python examples/network_bottlenecks.py
+"""
+
+import numpy as np
+
+from repro import GraphTinker, GTConfig
+from repro.engine import SSSP, HybridEngine
+from repro.engine.algorithms import SSWP
+from repro.engine.paths import path_cost, reconstruct_path
+from repro.workloads import rmat_edges
+from repro.workloads.streams import symmetrize
+
+
+def main() -> None:
+    rng = np.random.default_rng(12)
+    # Backbone topology: symmetrised hub-heavy graph; capacities in Gb/s.
+    links = symmetrize(rmat_edges(10, 3000, seed=2))
+    links = links[links[:, 0] != links[:, 1]]
+    capacity = rng.choice([1.0, 2.5, 10.0, 40.0, 100.0], links.shape[0])
+
+    net = GraphTinker(GTConfig())
+    net.insert_batch(links, capacity)
+    core = int(links[0, 0])
+
+    # ---- widest paths from the core router -----------------------------
+    sswp = HybridEngine(net, SSWP(), policy="hybrid")
+    sswp.reset(roots=[core])
+    sswp.compute()
+    widths = sswp.values
+    reachable = np.flatnonzero((widths > 0) & np.isfinite(widths))
+    print(f"core router {core}: {reachable.size} reachable nodes")
+    for gbps in (100.0, 40.0, 10.0):
+        n = int((widths[reachable] >= gbps).sum())
+        print(f"  nodes with >= {gbps:5.1f} Gb/s bottleneck bandwidth: {n}")
+
+    # ---- latency routes (SSSP with cost = 1/capacity) -------------------
+    latency = HybridEngine(net, SSSP(), policy="hybrid")
+    # recreate the store view with latency weights (cheapest link = fastest)
+    lat_net = GraphTinker(GTConfig())
+    lat_net.insert_batch(links, 1.0 / capacity)
+    latency = HybridEngine(lat_net, SSSP(), policy="hybrid")
+    latency.reset(roots=[core])
+    latency.compute()
+    far = int(reachable[np.argmin(widths[reachable])])
+    route = reconstruct_path(lat_net, latency.values, core, far)
+    print(f"\nweakest node {far}: bottleneck {widths[far]:.1f} Gb/s")
+    print(f"  fastest route ({len(route) - 1} hops): {route[:8]}"
+          f"{' ...' if len(route) > 8 else ''}")
+    print(f"  route latency cost: {path_cost(lat_net, route):.3f} "
+          f"(= engine distance {latency.value_of(far):.3f})")
+
+    # ---- upgrade the route's weakest links and re-evaluate --------------
+    upgraded = 0
+    for u, v in zip(route, route[1:]):
+        if net.edge_weight(u, v) < 40.0:
+            net.insert_edge(u, v, 100.0)     # weight update in place
+            net.insert_edge(v, u, 100.0)
+            upgraded += 1
+    sswp2 = HybridEngine(net, SSWP(), policy="hybrid")
+    sswp2.reset(roots=[core])
+    sswp2.compute()
+    print(f"\nafter upgrading {upgraded} link(s) along the route:")
+    print(f"  node {far} bottleneck: {widths[far]:.1f} -> "
+          f"{sswp2.value_of(far):.1f} Gb/s")
+    assert sswp2.value_of(far) >= widths[far]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Social-network stream: live community tracking with dynamic CC.
+
+The paper's motivating workload (Sec. I): a social graph receiving a
+continuous stream of friendship events, with analytics wanted in real
+time after every update batch.  This example ingests a skewed RMAT
+"friendship" stream, maintains weakly-connected components *incrementally*
+across batches with the hybrid engine, and reports how the community
+structure consolidates as the network densifies — without ever
+re-processing the whole graph from scratch.
+
+Run:  python examples/social_stream_components.py
+"""
+
+import numpy as np
+
+from repro import GraphTinker, GTConfig
+from repro.engine import ConnectedComponents, HybridEngine
+from repro.workloads import rmat_edges
+from repro.workloads.streams import EdgeStream, symmetrize
+
+
+def component_summary(values: np.ndarray, touched: np.ndarray) -> tuple[int, int]:
+    """(number of communities, size of the largest) over touched vertices."""
+    labels = values[touched]
+    uniq, counts = np.unique(labels, return_counts=True)
+    return int(uniq.shape[0]), int(counts.max())
+
+
+def main() -> None:
+    # Friendship events: heavy-tailed (celebrity hubs), symmetrised
+    # because friendships are mutual — which is also what keeps
+    # incremental CC sound (see repro.engine.algorithms.cc).
+    events = rmat_edges(13, 30_000, seed=42)
+    events = events[events[:, 0] != events[:, 1]]
+    stream = EdgeStream(symmetrize(events), batch_size=6_000)
+
+    store = GraphTinker(GTConfig())
+    engine = HybridEngine(store, ConnectedComponents(), policy="hybrid")
+    engine.reset()
+
+    print(f"ingesting {stream.n_edges} events in {stream.n_batches} batches\n")
+    print(f"{'batch':>5} {'edges':>8} {'communities':>12} {'largest':>8} "
+          f"{'iters':>6} {'modes used':>22}")
+    for i, batch in enumerate(stream.insert_batches()):
+        result = engine.update_and_compute(batch)
+        touched = np.unique(store.original_ids(np.arange(store.n_vertices)))
+        n_comm, largest = component_summary(engine.values, touched)
+        modes = ",".join(
+            f"{m}x{result.modes_used().count(m)}"
+            for m in dict.fromkeys(result.modes_used())
+        ) or "-"
+        print(f"{i:>5} {store.n_edges:>8} {n_comm:>12} {largest:>8} "
+              f"{result.n_iterations:>6} {modes:>22}")
+
+    # The giant component emerges: verify against a scratch recompute.
+    scratch = HybridEngine(store, ConnectedComponents(), policy="full")
+    scratch.reset()
+    scratch.mark_inconsistent(stream.edges)
+    scratch.compute()
+    n = min(engine.values.shape[0], scratch.values.shape[0])
+    assert (engine.values[:n] == scratch.values[:n]).all(), \
+        "incremental state diverged from scratch recompute"
+    print("\nincremental component labels == scratch recompute: OK")
+
+
+if __name__ == "__main__":
+    main()

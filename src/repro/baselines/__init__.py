@@ -1,0 +1,15 @@
+"""Additional baselines from the paper's background section (Sec. II).
+
+* :class:`~repro.baselines.adjacency_matrix.AdjacencyMatrixStore` — the
+  classic O(1)-insert / O(n^2)-memory strawman the paper rules out.
+* :class:`~repro.baselines.csr.CSRRebuildStore` — the
+  store-and-static-compute model with preprocessing: a dynamic edge log
+  that is compacted into CSR before every analytics pass, giving ideal
+  streaming at the price of a rebuild per batch — the foil for
+  GraphTinker's "no pre-processing needed" claim.
+"""
+
+from repro.baselines.adjacency_matrix import AdjacencyMatrixStore
+from repro.baselines.csr import CSRRebuildStore
+
+__all__ = ["AdjacencyMatrixStore", "CSRRebuildStore"]

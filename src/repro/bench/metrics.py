@@ -1,0 +1,95 @@
+"""Derived benchmark metrics: throughput series and load stability.
+
+These implement the figures-of-merit the paper reports alongside raw
+throughput: per-batch throughput series (Figs. 8, 14, 17), load
+stability (the Sec. V.B "34% vs 72% degradation" comparison), and
+speedup summaries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.bench.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.core.stats import AccessStats
+
+
+def throughput(n_edges: int, seconds: float) -> float:
+    """Plain wall-clock throughput (edges/second)."""
+    return n_edges / seconds if seconds > 0 else float("inf")
+
+
+def load_stability(series: Sequence[float], reference_index: int = 4) -> float:
+    """Throughput degradation between a reference batch and the last.
+
+    The paper quotes degradation "between the fifth input batch and the
+    last batch" for Fig. 8 — ``reference_index`` defaults to 4
+    accordingly (clamped for short series).  Returns a fraction in
+    [0, 1+) where 0.34 means 34% degradation.
+    """
+    if not series:
+        return 0.0
+    ref = series[max(0, min(reference_index, len(series) - 2))]
+    last = series[-1]
+    if ref <= 0:
+        return 0.0
+    return max(0.0, (ref - last) / ref)
+
+
+@dataclass
+class BatchMeasurement:
+    """One batch's worth of measurements in a batched run."""
+
+    batch_index: int
+    n_edges: int
+    wall_seconds: float
+    stats_delta: AccessStats
+
+    def modeled_throughput(self, model: CostModel = DEFAULT_COST_MODEL) -> float:
+        return model.throughput(self.n_edges, self.stats_delta)
+
+    @property
+    def wall_throughput(self) -> float:
+        return throughput(self.n_edges, self.wall_seconds)
+
+
+def run_batched(
+    batches: Sequence[np.ndarray],
+    apply_batch: Callable[[np.ndarray], object],
+    stats: AccessStats,
+) -> list[BatchMeasurement]:
+    """Apply batches through ``apply_batch``, measuring each.
+
+    ``stats`` is the live counter object of the system under test; a
+    snapshot/delta pair brackets each batch so per-batch modeled
+    throughput can be derived.
+    """
+    out: list[BatchMeasurement] = []
+    for i, batch in enumerate(batches):
+        before = stats.snapshot()
+        t0 = time.perf_counter()
+        apply_batch(batch)
+        elapsed = time.perf_counter() - t0
+        out.append(
+            BatchMeasurement(
+                batch_index=i,
+                n_edges=int(np.asarray(batch).shape[0]),
+                wall_seconds=elapsed,
+                stats_delta=stats.delta(before),
+            )
+        )
+    return out
+
+
+def speedup(series_a: Sequence[float], series_b: Sequence[float]) -> tuple[float, float]:
+    """(max, mean) ratio of a over b, elementwise (a and b same length)."""
+    a = np.asarray(series_a, dtype=np.float64)
+    b = np.asarray(series_b, dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("series must be non-empty and equal length")
+    ratios = a / np.maximum(b, 1e-30)
+    return float(ratios.max()), float(ratios.mean())

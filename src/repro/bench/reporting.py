@@ -1,0 +1,67 @@
+"""Plain-text table/series reporting for the benchmark harness.
+
+Every bench prints the same rows/series the paper's corresponding table
+or figure reports, via :class:`Table` — fixed-width, aligned, greppable
+output that also lands in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Table:
+    """Minimal fixed-width table printer.
+
+    >>> t = Table("demo", ["x", "y"])
+    >>> t.add_row([1, 2.5])
+    >>> text = t.render()
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.01:
+                return f"{value:.3g}"
+            return f"{value:.3f}"
+        return str(value)
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [f"== {self.title} =="]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+        print()
+
+
+def fmt_ratio(a: float, b: float) -> str:
+    """Human ratio string, e.g. ``2.7x``; guards division by ~0."""
+    if b <= 0:
+        return "inf"
+    return f"{a / b:.2f}x"

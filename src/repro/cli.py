@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives shell access to the library's main workflows without writing code:
+
+* ``datasets`` — print the Table 1 registry at the active scale.
+* ``generate`` — write a scaled dataset (or raw RMAT) to an edge-list file.
+* ``load`` — batch-insert a dataset into GraphTinker and/or STINGER and
+  report per-batch modeled throughput (a Fig. 8-style run).
+* ``analytics`` — load a dataset and run BFS/SSSP/CC/PageRank through the
+  hybrid engine under a chosen policy.
+* ``probe`` — print the probe-distance comparison (the O(log n) claim).
+
+Every command accepts ``--edges`` to bound run time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bench.costmodel import DEFAULT_COST_MODEL as MODEL
+from repro.bench.harness import insertion_run, make_store
+from repro.bench.reporting import Table
+from repro.core.probes import graphtinker_probe_summary, stinger_probe_summary
+from repro.engine import HybridEngine
+from repro.engine.algorithms import BFS, SSSP, ConnectedComponents, PageRank
+from repro.workloads import load_dataset, rmat_edges
+from repro.workloads.datasets import DATASET_ORDER, dataset_properties
+from repro.workloads.io import write_edge_list
+from repro.workloads.streams import EdgeStream, highest_degree_roots, symmetrize
+
+_ALGORITHMS = {
+    "bfs": (BFS, False, True),
+    "sssp": (SSSP, False, True),
+    "cc": (ConnectedComponents, True, False),
+    "pagerank": (PageRank, False, False),
+}
+
+
+def _edges_for(args) -> np.ndarray:
+    _, edges = load_dataset(args.dataset)
+    if args.edges:
+        edges = edges[: args.edges]
+    return edges
+
+
+def cmd_datasets(args) -> int:
+    table = Table(
+        "Table 1 datasets (scaled)",
+        ["name", "type", "paper |V|", "paper |E|", "scaled |V|", "scaled |E|", "avg deg"],
+    )
+    for name in DATASET_ORDER:
+        row = dataset_properties(name)
+        table.add_row([row["name"], row["type"], row["paper_vertices"],
+                       row["paper_edges"], row["scaled_vertices"],
+                       row["scaled_edges"], row["avg_out_degree"]])
+    table.print()
+    return 0
+
+
+def cmd_generate(args) -> int:
+    if args.dataset:
+        edges = _edges_for(args)
+    else:
+        edges = rmat_edges(args.scale, args.edges or 10_000, seed=args.seed)
+    write_edge_list(args.output, edges)
+    print(f"wrote {edges.shape[0]} edges to {args.output}")
+    return 0
+
+
+def cmd_load(args) -> int:
+    edges = _edges_for(args)
+    stream = EdgeStream(edges, max(1, edges.shape[0] // args.batches))
+    table = Table(
+        f"insertion throughput: {args.dataset} ({edges.shape[0]} edges, "
+        f"{stream.n_batches} batches)",
+        ["system"] + [f"batch{i}" for i in range(stream.n_batches)],
+    )
+    for kind in args.systems:
+        store = make_store(kind)
+        ms = insertion_run(store, EdgeStream(edges, stream.batch_size))
+        table.add_row([kind] + [m.modeled_throughput(MODEL) for m in ms])
+    table.print()
+    return 0
+
+
+def cmd_analytics(args) -> int:
+    program_cls, undirected, needs_root = _ALGORITHMS[args.algorithm]
+    edges = _edges_for(args)
+    if undirected:
+        edges = symmetrize(edges)
+    store = make_store(args.system)
+    store.insert_batch(edges)
+    engine = HybridEngine(store, program_cls(), policy=args.policy)
+    if needs_root:
+        root = int(highest_degree_roots(edges, 1)[0])
+        engine.reset(roots=[root])
+        print(f"root vertex: {root}")
+    else:
+        engine.reset()
+        engine.mark_inconsistent(edges)
+        if args.algorithm == "pagerank":
+            engine._active = np.arange(engine.values.shape[0])
+    before = store.stats.snapshot()
+    result = engine.compute()
+    delta = store.stats.delta(before)
+    print(f"{args.algorithm} on {args.dataset} via {args.system} [{args.policy}]:")
+    print(f"  iterations: {result.n_iterations}  modes: {result.modes_used()}")
+    print(f"  modeled throughput: {MODEL.throughput(store.n_edges, delta):.3f} "
+          f"edges/access-cycle")
+    finite = np.isfinite(engine.values)
+    print(f"  vertices with a result: {int(finite.sum())}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.bench.export import export_insertion_figure
+
+    path = export_insertion_figure(args.output_dir, dataset=args.dataset,
+                                   n_batches=args.batches)
+    print(f"wrote {path}")
+    print("(run `pytest benchmarks/ --benchmark-only` for every table/figure)")
+    return 0
+
+
+def cmd_probe(args) -> int:
+    edges = _edges_for(args)
+    gt = make_store("graphtinker")
+    st = make_store("stinger")
+    gt.insert_batch(edges)
+    st.insert_batch(edges)
+    table = Table(
+        f"probe distance on {args.dataset}",
+        ["structure", "samples", "mean", "p95", "max"],
+    )
+    for label, summary in (
+        ("GraphTinker", graphtinker_probe_summary(gt)),
+        ("STINGER", stinger_probe_summary(st)),
+    ):
+        table.add_row([label, summary.count, summary.mean, summary.p95, summary.max])
+    table.print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraphTinker reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="print the Table 1 dataset registry")
+    p.set_defaults(func=cmd_datasets)
+
+    p = sub.add_parser("generate", help="write a dataset / RMAT stream to a file")
+    p.add_argument("output")
+    p.add_argument("--dataset", choices=DATASET_ORDER)
+    p.add_argument("--scale", type=int, default=14, help="RMAT scale (no --dataset)")
+    p.add_argument("--edges", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("load", help="batch-insert a dataset; report throughput")
+    p.add_argument("--dataset", default="hollywood_like", choices=DATASET_ORDER)
+    p.add_argument("--edges", type=int, default=48_000)
+    p.add_argument("--batches", type=int, default=6)
+    p.add_argument("--systems", nargs="+", default=["graphtinker", "stinger"],
+                   choices=["graphtinker", "gt_nocal", "gt_nosgh", "gt_plain", "stinger"])
+    p.set_defaults(func=cmd_load)
+
+    p = sub.add_parser("analytics", help="run a graph algorithm via the hybrid engine")
+    p.add_argument("--dataset", default="rmat_1m_10m", choices=DATASET_ORDER)
+    p.add_argument("--edges", type=int, default=48_000)
+    p.add_argument("--algorithm", default="bfs", choices=sorted(_ALGORITHMS))
+    p.add_argument("--policy", default="hybrid",
+                   choices=["hybrid", "full", "incremental"])
+    p.add_argument("--system", default="graphtinker",
+                   choices=["graphtinker", "stinger"])
+    p.set_defaults(func=cmd_analytics)
+
+    p = sub.add_parser("probe", help="probe-distance comparison GT vs STINGER")
+    p.add_argument("--dataset", default="hollywood_like", choices=DATASET_ORDER)
+    p.add_argument("--edges", type=int, default=48_000)
+    p.set_defaults(func=cmd_probe)
+
+    p = sub.add_parser("figures", help="export plot-ready CSV figure data")
+    p.add_argument("output_dir")
+    p.add_argument("--dataset", default="hollywood_like", choices=DATASET_ORDER)
+    p.add_argument("--batches", type=int, default=8)
+    p.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

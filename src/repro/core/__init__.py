@@ -1,0 +1,22 @@
+"""GraphTinker core: the paper's primary contribution.
+
+Public surface re-exported here:
+
+* :class:`~repro.core.config.GTConfig` — geometry / feature configuration.
+* :class:`~repro.core.graphtinker.GraphTinker` — the dynamic graph store.
+* :class:`~repro.core.parallel.PartitionedGraphTinker` — multi-instance
+  interval-partitioned store (Sec. III.D).
+* :class:`~repro.core.stats.AccessStats` — instrumentation counters.
+"""
+
+from repro.core.config import EngineConfig, GTConfig, StingerConfig
+from repro.core.graphtinker import GraphTinker
+from repro.core.stats import AccessStats
+
+__all__ = [
+    "AccessStats",
+    "EngineConfig",
+    "GTConfig",
+    "GraphTinker",
+    "StingerConfig",
+]

@@ -1,0 +1,176 @@
+"""Configuration objects for the GraphTinker data structure.
+
+The paper (Sec. V.A) fixes the default geometry to ``PAGEWIDTH = 64``
+edge-cells per edgeblock, Subblocks of 8 cells and Workblocks of 4 cells,
+chosen as "a good balance between effective data structure performance in
+updating edges and in graph analytics computation".  Every geometry knob is
+exposed here so the PAGEWIDTH sweeps of Figs. 17-19 can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import ConfigError
+
+#: Paper defaults (Sec. V.A).
+DEFAULT_PAGEWIDTH = 64
+DEFAULT_SUBBLOCK = 8
+DEFAULT_WORKBLOCK = 4
+DEFAULT_CAL_GROUP_WIDTH = 1024
+DEFAULT_CAL_BLOCK_SIZE = 64
+DEFAULT_MAX_GENERATIONS = 4096
+
+#: STINGER's configured average edgeblock size (Sec. V.A).
+DEFAULT_STINGER_EDGEBLOCK = 16
+
+#: Hybrid engine mode-selection threshold on T = A / E (Sec. IV.B).
+DEFAULT_HYBRID_THRESHOLD = 0.02
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class GTConfig:
+    """Immutable GraphTinker configuration.
+
+    Parameters
+    ----------
+    pagewidth:
+        Number of edge-cells in one edgeblock (one row of the
+        EdgeblockArray).  Larger values widen the hash range per block,
+        reducing Robin-Hood collisions (better insert throughput) at the
+        cost of a sparser layout (worse analytics throughput) — the
+        trade-off of Figs. 17/18.
+    subblock:
+        Cells per Subblock, the branch-out granularity of Tree-Based
+        Hashing.  Must divide ``pagewidth``.
+    workblock:
+        Cells per Workblock, the DRAM-retrieval granularity of the load
+        unit.  Must divide ``subblock``.
+    enable_rhh:
+        Whether the Robin Hood displacement algorithm runs during inserts.
+        The delete-and-compact mechanism disables RHH (paper Sec. III.C) to
+        avoid the edge-tracking overhead of swaps.
+    enable_sgh:
+        Whether Scatter-Gather Hashing densifies source vertex ids.  The
+        Sec. V.B ablation disables this.
+    enable_cal:
+        Whether the Coarse Adjacency List copy is maintained.  Fig. 8
+        evaluates GraphTinker both with and without CAL.
+    cal_group_width:
+        Number of consecutive source vertex ids per CAL group.
+    cal_block_size:
+        Edge slots per CAL edgeblock.
+    compact_on_delete:
+        Selects the delete-and-compact mechanism instead of delete-only
+        (tombstoning).  Implies RHH is bypassed for the compaction moves.
+    max_generations:
+        Hard cap on Tree-Based-Hashing descent depth; a sanity guard
+        against adversarial hash behaviour rather than a tuning knob.
+        Generous by default: degenerate geometries (pagewidth ==
+        subblock, i.e. one Subblock per edgeblock) descend once per
+        `subblock` edges of a vertex, so hub vertices legitimately reach
+        hundreds of generations.
+    initial_vertices:
+        Number of main-region edgeblock rows pre-allocated.
+    seed:
+        Seed for the (deterministic) hash-mixing constants.
+    """
+
+    pagewidth: int = DEFAULT_PAGEWIDTH
+    subblock: int = DEFAULT_SUBBLOCK
+    workblock: int = DEFAULT_WORKBLOCK
+    enable_rhh: bool = True
+    enable_sgh: bool = True
+    enable_cal: bool = True
+    cal_group_width: int = DEFAULT_CAL_GROUP_WIDTH
+    cal_block_size: int = DEFAULT_CAL_BLOCK_SIZE
+    compact_on_delete: bool = False
+    max_generations: int = DEFAULT_MAX_GENERATIONS
+    initial_vertices: int = 16
+    seed: int = 0x9E3779B9
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.pagewidth):
+            raise ConfigError(f"pagewidth must be a power of two, got {self.pagewidth}")
+        if not _is_power_of_two(self.subblock):
+            raise ConfigError(f"subblock must be a power of two, got {self.subblock}")
+        if not _is_power_of_two(self.workblock):
+            raise ConfigError(f"workblock must be a power of two, got {self.workblock}")
+        if self.subblock > self.pagewidth:
+            raise ConfigError("subblock size cannot exceed pagewidth")
+        if self.workblock > self.subblock:
+            raise ConfigError("workblock size cannot exceed subblock size")
+        if self.pagewidth % self.subblock:
+            raise ConfigError("subblock must divide pagewidth")
+        if self.subblock % self.workblock:
+            raise ConfigError("workblock must divide subblock")
+        if self.cal_group_width <= 0:
+            raise ConfigError("cal_group_width must be positive")
+        if self.cal_block_size <= 0:
+            raise ConfigError("cal_block_size must be positive")
+        if self.max_generations <= 0:
+            raise ConfigError("max_generations must be positive")
+        if self.initial_vertices <= 0:
+            raise ConfigError("initial_vertices must be positive")
+
+    @property
+    def subblocks_per_block(self) -> int:
+        """Number of Subblocks in one edgeblock."""
+        return self.pagewidth // self.subblock
+
+    @property
+    def workblocks_per_subblock(self) -> int:
+        """Number of Workblocks the load unit fetches per Subblock scan."""
+        return self.subblock // self.workblock
+
+    def with_(self, **changes: Any) -> "GTConfig":
+        """Return a copy with the given fields replaced (validated)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class StingerConfig:
+    """Configuration of the STINGER baseline (Sec. V.A: edgeblock size 16)."""
+
+    edgeblock_size: int = DEFAULT_STINGER_EDGEBLOCK
+    initial_vertices: int = 16
+
+    def __post_init__(self) -> None:
+        if self.edgeblock_size <= 0:
+            raise ConfigError("edgeblock_size must be positive")
+        if self.initial_vertices <= 0:
+            raise ConfigError("initial_vertices must be positive")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Hybrid graph-engine configuration (Sec. IV.B).
+
+    ``predictor`` selects the Inference-Box heuristic:
+
+    * ``"ratio"`` — the paper's published formula, T = A / E (active
+      vertices over edges loaded), against ``threshold``.
+    * ``"degree"`` — the paper's stated future-work heuristic: T' = D / E
+      where D is the *total out-degree* of the active vertices, i.e. the
+      actual number of edges an incremental iteration would touch.  The
+      same ``threshold`` semantics apply (FP when T' exceeds it), but a
+      degree-calibrated threshold should be supplied — see
+      ``CostModel.hybrid_threshold_degree``.
+    """
+
+    threshold: float = DEFAULT_HYBRID_THRESHOLD
+    max_iterations: int = 1_000_000
+    predictor: str = "ratio"
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.threshold < 1.0):
+            raise ConfigError("threshold must lie strictly between 0 and 1")
+        if self.max_iterations <= 0:
+            raise ConfigError("max_iterations must be positive")
+        if self.predictor not in ("ratio", "degree"):
+            raise ConfigError(f"unknown predictor {self.predictor!r}")

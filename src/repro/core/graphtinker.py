@@ -1,0 +1,330 @@
+"""The GraphTinker facade — the paper's public data-structure API.
+
+Ties together the Scatter-Gather Hashing unit, the EdgeblockArray (Robin
+Hood + Tree-Based Hashing), the VertexPropertyArray and the Coarse
+Adjacency List into the dynamic-graph store evaluated in the paper:
+
+* :meth:`GraphTinker.insert_edge` / :meth:`insert_batch` — FIND-then-INSERT
+  semantics; duplicate inserts update the weight in place (and the CAL
+  copy through the edge's CAL-pointer).
+* :meth:`delete_edge` / :meth:`delete_batch` — delete-only (tombstones) or
+  delete-and-compact, per configuration.
+* :meth:`neighbors`, :meth:`edges` — retrieval for analytics, from the
+  EdgeblockArray (incremental path) or the CAL (streaming path).
+
+All public methods speak *original* vertex ids; the SGH unit translates to
+the dense internal id space (unless ``enable_sgh`` is off, in which case
+original ids index the main region directly, reproducing the sparse-layout
+behaviour the ablation of Sec. V.B measures).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.cal import CoarseAdjacencyList
+from repro.core.config import GTConfig
+from repro.core.edgeblock_array import EdgeblockArray
+from repro.core.sgh import ScatterGatherHash
+from repro.core.stats import AccessStats
+from repro.core.vertex_array import VertexPropertyArray
+from repro.errors import VertexNotFoundError
+
+
+class GraphTinker:
+    """A single-instance GraphTinker dynamic graph store.
+
+    Parameters
+    ----------
+    config:
+        Geometry and feature toggles; defaults follow the paper
+        (PAGEWIDTH 64 / Subblock 8 / Workblock 4, SGH+CAL+RHH on).
+
+    Examples
+    --------
+    >>> gt = GraphTinker()
+    >>> gt.insert_edge(34, 22789, weight=2.5)
+    True
+    >>> gt.has_edge(34, 22789)
+    True
+    >>> gt.n_edges
+    1
+    """
+
+    def __init__(self, config: GTConfig | None = None):
+        self.config = config if config is not None else GTConfig()
+        self.stats = AccessStats()
+        self.sgh = ScatterGatherHash(self.stats) if self.config.enable_sgh else None
+        self.eba = EdgeblockArray(self.config, self.stats)
+        self.cal = CoarseAdjacencyList(self.config, self.stats) if self.config.enable_cal else None
+        self.vpa = VertexPropertyArray(self.config.initial_vertices)
+
+    # ------------------------------------------------------------------ #
+    # id translation
+    # ------------------------------------------------------------------ #
+    def _dense(self, src: int, create: bool) -> int | None:
+        """Translate an original source id to the internal dense id."""
+        if self.sgh is None:
+            return int(src)
+        if create:
+            return self.sgh.hash_id(src)
+        return self.sgh.try_lookup(src)
+
+    def dense_id(self, src: int) -> int:
+        """Public translation original -> dense (raises if unknown)."""
+        if self.sgh is None:
+            return int(src)
+        return self.sgh.lookup(src)
+
+    def original_id(self, dense: int) -> int:
+        """Public translation dense -> original."""
+        if self.sgh is None:
+            return int(dense)
+        return self.sgh.original_id(dense)
+
+    def original_ids(self, dense: np.ndarray) -> np.ndarray:
+        """Vectorised dense -> original translation."""
+        if self.sgh is None:
+            return np.asarray(dense, dtype=np.int64)
+        return self.sgh.original_ids(np.asarray(dense))
+
+    # ------------------------------------------------------------------ #
+    # size properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_vertices(self) -> int:
+        """Non-empty source vertices (vertices owning at least one row)."""
+        return self.eba.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        """Live directed edges currently stored."""
+        return self.eba.n_edges
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate_ids(src: int, dst: int) -> None:
+        # Negative ids are reserved: the edge-cell encoding uses -1/-2 as
+        # EMPTY/TOMBSTONE sentinels, so letting one in would corrupt the
+        # structure silently.
+        if src < 0 or dst < 0:
+            raise ValueError(f"vertex ids must be non-negative, got ({src}, {dst})")
+
+    def insert_edge(self, src: int, dst: int, weight: float = 1.0) -> bool:
+        """Insert edge ``(src, dst)``; update its weight if present.
+
+        Returns ``True`` when the edge is new, ``False`` on an in-place
+        update (the FIND stage succeeded).
+        """
+        self._validate_ids(src, dst)
+        dense_src = self._dense(src, create=True)
+        is_new, location = self.eba.insert(dense_src, dst, weight)
+        if is_new:
+            self.vpa.add_degree(dense_src, 1)
+            if self.cal is not None:
+                block, slot = self.cal.append(dense_src, dst, weight)
+                self.eba.set_cal_pointer(location, block, slot)
+        else:
+            if self.cal is not None:
+                block, slot = self.eba.get_cal_pointer(location)
+                if block >= 0:
+                    self.cal.update_weight(block, slot, weight)
+        return is_new
+
+    def insert_batch(self, edges: np.ndarray, weights: np.ndarray | None = None) -> int:
+        """Insert an ``(n, 2)`` batch of edges; return the number of new ones.
+
+        This is the paper's batch-update entry point (1M-edge batches in
+        the evaluation).  Weights default to 1.0.
+        """
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError("edges must have shape (n, 2)")
+        if edges.size and edges.min() < 0:
+            raise ValueError("vertex ids must be non-negative")
+        if weights is None:
+            weights = np.ones(edges.shape[0], dtype=np.float64)
+        new = 0
+        srcs = edges[:, 0].tolist()
+        dsts = edges[:, 1].tolist()
+        wts = np.asarray(weights, dtype=np.float64).tolist()
+        for s, d, w in zip(srcs, dsts, wts):
+            if self.insert_edge(s, d, w):
+                new += 1
+        return new
+
+    def delete_edge(self, src: int, dst: int) -> bool:
+        """Delete edge ``(src, dst)``; return whether it existed."""
+        dense_src = self._dense(src, create=False)
+        if dense_src is None or dense_src >= self.eba.n_vertices:
+            return False
+        cal_ptr = self.eba.delete(dense_src, dst)
+        if cal_ptr is None:
+            return False
+        self.vpa.add_degree(dense_src, -1)
+        if self.cal is not None and cal_ptr[0] >= 0:
+            if self.config.compact_on_delete:
+                moved = self.cal.compact_delete(*cal_ptr)
+                if moved is not None:
+                    # The group's tail copy filled the hole; re-point the
+                    # owning EdgeblockArray cell at the copy's new home.
+                    m_src, m_dst, _, _ = moved
+                    loc = self.eba.find(m_src, m_dst)
+                    assert loc is not None, "CAL copy without an owner"
+                    self.eba.set_cal_pointer(loc, *cal_ptr)
+            else:
+                self.cal.invalidate(*cal_ptr)
+        return True
+
+    def delete_batch(self, edges: np.ndarray) -> int:
+        """Delete a batch of edges; return how many actually existed."""
+        edges = np.asarray(edges, dtype=np.int64)
+        deleted = 0
+        for s, d in zip(edges[:, 0].tolist(), edges[:, 1].tolist()):
+            if self.delete_edge(s, d):
+                deleted += 1
+        return deleted
+
+    def delete_vertex(self, src: int) -> int:
+        """Delete every out-edge of ``src``; return how many existed.
+
+        The vertex's SGH mapping and (now-empty) top-parent edgeblock
+        persist — the dense id space never shrinks, so a reappearing
+        source reuses its old row.  In-edges of ``src`` held by other
+        vertices are untouched (this store indexes edges by source; use
+        a symmetrised stream where undirected semantics are wanted).
+        """
+        dense_src = self._dense(src, create=False)
+        if dense_src is None or dense_src >= self.eba.n_vertices:
+            return 0
+        dsts, _ = self.eba.neighbors(dense_src)
+        deleted = 0
+        for d in dsts.tolist():
+            if self.delete_edge(src, int(d)):
+                deleted += 1
+        return deleted
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def has_edge(self, src: int, dst: int) -> bool:
+        """FIND-mode lookup of a single edge."""
+        dense_src = self._dense(src, create=False)
+        if dense_src is None:
+            return False
+        return self.eba.find(dense_src, dst) is not None
+
+    def edge_weight(self, src: int, dst: int) -> float | None:
+        """Weight of edge ``(src, dst)`` or ``None`` if absent."""
+        dense_src = self._dense(src, create=False)
+        if dense_src is None:
+            return None
+        loc = self.eba.find(dense_src, dst)
+        if loc is None:
+            return None
+        return self.eba.get_weight(loc)
+
+    def degree(self, src: int) -> int:
+        """Live out-degree of an original source id (0 if never seen)."""
+        dense_src = self._dense(src, create=False)
+        if dense_src is None:
+            return 0
+        return self.eba.degree(dense_src)
+
+    def neighbors(self, src: int) -> tuple[np.ndarray, np.ndarray]:
+        """Out-neighbours of ``src`` as ``(dst, weight)`` arrays.
+
+        Retrieval walks the vertex's edgeblock tree in the EdgeblockArray
+        (the incremental-processing load path).
+        """
+        dense_src = self._dense(src, create=False)
+        if dense_src is None:
+            raise VertexNotFoundError(src)
+        return self.eba.neighbors(dense_src)
+
+    def neighbors_dense(self, dense_src: int) -> tuple[np.ndarray, np.ndarray]:
+        """Internal-id variant of :meth:`neighbors` (engine hot path)."""
+        return self.eba.neighbors(dense_src)
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield every live edge as ``(src, dst, weight)`` (original ids)."""
+        for dense_src, dsts, weights in self.eba.iter_all_edges():
+            src = self.original_id(dense_src)
+            for d, w in zip(dsts.tolist(), weights.tolist()):
+                yield src, int(d), float(w)
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All live edges as ``(src, dst, weight)`` arrays, dense src ids.
+
+        Uses the CAL streaming path when CAL is enabled (contiguous block
+        reads), otherwise falls back to an EdgeblockArray sweep (random
+        block reads) — the exact dichotomy the engine's mode choice is
+        about.
+        """
+        if self.cal is not None:
+            return self.cal.stream_edges()
+        srcs: list[np.ndarray] = []
+        dsts: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        for dense_src, d, w in self.eba.iter_all_edges():
+            srcs.append(np.full(d.shape[0], dense_src, dtype=np.int64))
+            dsts.append(d)
+            weights.append(w)
+        if not srcs:
+            empty_i = np.empty(0, dtype=np.int64)
+            return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64)
+        return np.concatenate(srcs), np.concatenate(dsts), np.concatenate(weights)
+
+    def analytics_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`edge_arrays` but with *original* source ids.
+
+        This is the engine's full-processing load path: one contiguous
+        CAL stream plus one vectorised dense->original gather.
+        """
+        src, dst, weight = self.edge_arrays()
+        return self.original_ids(src), dst, weight
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def memory_blocks(self) -> dict[str, int]:
+        """Block occupancy per structure (for compaction diagnostics)."""
+        out = {
+            "main_edgeblocks": self.eba.main.n_used,
+            "overflow_edgeblocks": self.eba.overflow.n_used,
+        }
+        if self.cal is not None:
+            out["cal_blocks"] = self.cal.n_blocks
+        return out
+
+    def check_invariants(self) -> None:
+        """Internal consistency audit (used heavily by the test suite).
+
+        Verifies that per-vertex degrees match the number of live cells in
+        each vertex's edgeblock tree, and that the CAL live-edge count
+        matches the EdgeblockArray's.
+        """
+        stats_backup = self.stats.snapshot()
+        total = 0
+        for dense_src in range(self.eba.n_vertices):
+            dsts, _ = self.eba.neighbors(dense_src)
+            if dsts.shape[0] != self.eba.degree(dense_src):
+                raise AssertionError(
+                    f"degree mismatch for dense vertex {dense_src}: "
+                    f"{dsts.shape[0]} cells vs degree {self.eba.degree(dense_src)}"
+                )
+            if np.unique(dsts).shape[0] != dsts.shape[0]:
+                raise AssertionError(f"duplicate edges for dense vertex {dense_src}")
+            total += dsts.shape[0]
+        if self.cal is not None and self.cal.n_edges != total:
+            raise AssertionError(
+                f"CAL holds {self.cal.n_edges} live copies but the "
+                f"EdgeblockArray holds {total} live edges"
+            )
+        # Auditing must not perturb the access accounting.
+        self.stats.reset()
+        self.stats.merge(stats_backup)

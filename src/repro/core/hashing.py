@@ -1,0 +1,75 @@
+"""Deterministic integer hash mixers used across the data structures.
+
+GraphTinker needs several *independent* hash functions:
+
+* the Subblock selector of Tree-Based Hashing, which must produce a
+  different Subblock choice at every branch-out generation so congested
+  edges spread out in child edgeblocks (paper Sec. III.B, "rehashing is
+  done again"), and
+* the initial-bucket function of Robin Hood Hashing inside a Subblock.
+
+We use a Fibonacci/xorshift-style 64-bit mixer (splitmix64 finalizer).
+It is cheap, stateless, deterministic across runs, and has good avalanche
+behaviour, so probe-distance statistics are stable between machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+#: splitmix64 finalizer constants.
+_C1 = 0xBF58476D1CE4E5B9
+_C2 = 0x94D049BB133111EB
+
+
+def mix64(value: int, seed: int = 0) -> int:
+    """Return a well-mixed 64-bit hash of ``value`` under ``seed``.
+
+    ``seed`` selects one member of a family of independent hash functions;
+    Tree-Based Hashing passes the branch generation as part of the seed.
+    """
+    z = (value + seed + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * _C1) & _MASK64
+    z = ((z ^ (z >> 27)) * _C2) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def mix64_array(values: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorised :func:`mix64` over an integer array (uint64 result)."""
+    z = values.astype(np.uint64, copy=True)
+    z += np.uint64((seed + 0x9E3779B97F4A7C15) & _MASK64)
+    z ^= z >> np.uint64(30)
+    z *= np.uint64(_C1)
+    z ^= z >> np.uint64(27)
+    z *= np.uint64(_C2)
+    z ^= z >> np.uint64(31)
+    return z
+
+
+def subblock_index(dst: int, generation: int, n_subblocks: int, seed: int) -> int:
+    """Tree-Based-Hashing Subblock selector.
+
+    The paper parameterises this user-defined hash by the edgeblock
+    PAGEWIDTH (implicitly, via the number of subblocks) and the destination
+    vertex id; the generation term re-randomises the choice after each
+    branch-out so a congested cohort of edges fans out in the child.
+    """
+    return mix64(dst, seed ^ (generation * 0x51ED2701)) % n_subblocks
+
+
+def initial_bucket(dst: int, generation: int, subblock_size: int, seed: int) -> int:
+    """Robin-Hood initial bucket of an edge within its Subblock."""
+    return mix64(dst, ~seed & _MASK64 ^ (generation * 0xA24BAED4)) % subblock_size
+
+
+def partition_of(src: int, n_partitions: int, seed: int = 0) -> int:
+    """Interval selector for parallel GraphTinker instances (Sec. III.D)."""
+    return mix64(src, seed ^ 0x6A09E667) % n_partitions
+
+
+def partition_of_array(src: np.ndarray, n_partitions: int, seed: int = 0) -> np.ndarray:
+    """Vectorised :func:`partition_of` (returns int64 partition ids)."""
+    mixed = mix64_array(src.astype(np.int64), (seed ^ 0x6A09E667) & _MASK64)
+    return (mixed % np.uint64(n_partitions)).astype(np.int64)

@@ -1,0 +1,177 @@
+"""Growable flat NumPy pools backing every block-structured store.
+
+The HPC-Python idiom applied throughout this repo (see DESIGN.md §2) is to
+keep *all* edge data in a small number of large, contiguous structured
+arrays and grow them by doubling — never one Python object per edge or per
+block.  :class:`BlockPool` owns one 2-D structured array whose rows are
+blocks (edgeblocks, CAL blocks, STINGER blocks) and whose columns are the
+per-block cells, plus a free-list so blocks released by delete-and-compact
+can be reused.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+#: Sentinel destination values inside edge-cells.
+EMPTY = np.int64(-1)
+TOMBSTONE = np.int64(-2)
+
+#: Edge-cell record: destination vertex, weight, Robin-Hood probe distance,
+#: and the CAL-pointer (block index + slot) to the edge's compacted copy.
+EDGE_CELL_DTYPE = np.dtype(
+    [
+        ("dst", np.int64),
+        ("weight", np.float64),
+        ("probe", np.int16),
+        ("cal_block", np.int32),
+        ("cal_slot", np.int32),
+    ]
+)
+
+#: CAL slot record: each compacted edge also carries its source vertex,
+#: because in the Coarse Adjacency List several sources share a block.
+CAL_CELL_DTYPE = np.dtype(
+    [
+        ("src", np.int64),
+        ("dst", np.int64),
+        ("weight", np.float64),
+    ]
+)
+
+#: STINGER edge slot: destination + weight; -1 dst means empty, -2 deleted.
+STINGER_CELL_DTYPE = np.dtype(
+    [
+        ("dst", np.int64),
+        ("weight", np.float64),
+    ]
+)
+
+
+def blank_edge_cells(shape: tuple[int, ...] | int) -> np.ndarray:
+    """Return an EDGE_CELL array initialised to the empty state."""
+    arr = np.zeros(shape, dtype=EDGE_CELL_DTYPE)
+    arr["dst"] = EMPTY
+    arr["cal_block"] = -1
+    arr["cal_slot"] = -1
+    return arr
+
+
+class BlockPool:
+    """A doubling pool of fixed-width blocks in one structured array.
+
+    Parameters
+    ----------
+    block_width:
+        Number of cells per block (row length).
+    dtype:
+        Structured cell dtype.
+    blank:
+        Callable producing a blank cell array of a given shape; used to
+        initialise new capacity and to recycle freed blocks.
+    initial_blocks:
+        Rows pre-allocated at construction.
+    """
+
+    __slots__ = ("block_width", "dtype", "_blank", "_data", "_used", "_free")
+
+    def __init__(self, block_width, dtype, blank, initial_blocks=4):
+        if block_width <= 0:
+            raise ValueError("block_width must be positive")
+        if initial_blocks <= 0:
+            raise ValueError("initial_blocks must be positive")
+        self.block_width = int(block_width)
+        self.dtype = dtype
+        self._blank = blank
+        self._data = blank((initial_blocks, self.block_width))
+        self._used = 0
+        self._free: list[int] = []
+
+    # ------------------------------------------------------------------ #
+    # capacity management
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        """Rows currently allocated (used + never-used + freed)."""
+        return self._data.shape[0]
+
+    @property
+    def n_used(self) -> int:
+        """Rows handed out and not freed."""
+        return self._used - len(self._free)
+
+    @property
+    def high_water(self) -> int:
+        """Rows ever handed out (freed rows included)."""
+        return self._used
+
+    def _grow_to(self, min_rows: int) -> None:
+        cap = self.capacity
+        if min_rows <= cap:
+            return
+        new_cap = cap
+        while new_cap < min_rows:
+            new_cap *= 2
+        fresh = self._blank((new_cap, self.block_width))
+        fresh[:cap] = self._data
+        self._data = fresh
+
+    def allocate(self) -> int:
+        """Hand out a blank block row and return its index."""
+        if self._free:
+            idx = self._free.pop()
+            self._data[idx] = self._blank(self.block_width)
+            return idx
+        idx = self._used
+        self._grow_to(idx + 1)
+        self._used += 1
+        return idx
+
+    def allocate_many(self, count: int) -> list[int]:
+        """Allocate ``count`` blocks (free-list first, then fresh rows)."""
+        return [self.allocate() for _ in range(count)]
+
+    def free(self, index: int) -> None:
+        """Return a block to the pool for reuse.
+
+        The row contents are *not* scrubbed here; they are re-blanked on
+        the next :meth:`allocate`, so freeing is O(1).
+        """
+        if not (0 <= index < self._used):
+            raise IndexError(f"block {index} was never allocated")
+        self._free.append(index)
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def row(self, index: int) -> np.ndarray:
+        """Return the block row as a *view* (mutations hit the pool)."""
+        if not (0 <= index < self._used):
+            raise IndexError(f"block {index} was never allocated")
+        return self._data[index]
+
+    def view(self, index: int, start: int, stop: int) -> np.ndarray:
+        """Return cells ``[start, stop)`` of a block as a view."""
+        return self.row(index)[start:stop]
+
+    def raw(self) -> np.ndarray:
+        """The full backing array (used rows first); for vectorised scans."""
+        return self._data[: self._used]
+
+    def iter_used(self) -> Iterator[int]:
+        """Yield indices of blocks currently handed out, in row order."""
+        freed = set(self._free)
+        for i in range(self._used):
+            if i not in freed:
+                yield i
+
+    def __len__(self) -> int:
+        return self.n_used
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlockPool(width={self.block_width}, used={self.n_used}, "
+            f"capacity={self.capacity}, freed={len(self._free)})"
+        )

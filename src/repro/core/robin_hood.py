@@ -1,0 +1,312 @@
+"""Robin Hood Hashing within a Subblock (paper Sec. III.A).
+
+A Subblock is a tiny open-addressing hash table (default 8 edge-cells)
+embedded in an edgeblock row.  Edges probe linearly from their initial
+bucket, wrapping *within the Subblock*; on collision the "richer" edge
+(smaller probe distance) is displaced so probe distances stay balanced.
+When a Subblock cannot absorb an edge it is *congested* and Tree-Based
+Hashing branches out to a child edgeblock (handled by the caller,
+:mod:`repro.core.edgeblock_array`).
+
+The load unit retrieves a Subblock one Workblock at a time (paper
+Sec. III.B), so this module reports how many distinct Workblocks each
+operation touched; those counts feed the DRAM-access cost model.
+
+Cell states are encoded in the ``dst`` field: ``EMPTY`` (never used),
+``TOMBSTONE`` (deleted; preserves probe chains in delete-only mode), or a
+non-negative destination vertex id.
+
+Correctness notes
+-----------------
+* FIND stops early at an ``EMPTY`` cell only when Robin-Hood mode is
+  active: delete-only mode never turns an occupied cell back to ``EMPTY``,
+  so no edge can live beyond an empty cell on its own probe path.  In
+  delete-and-compact mode (RHH off) compaction may place an edge anywhere
+  in its Subblock, so FIND must scan all cells.
+* Displacement uses the strict rule (swap when the floating edge is
+  strictly poorer); the floating edge that survives a full wrap is the one
+  handed to the caller for branch-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pool import EMPTY, TOMBSTONE
+from repro.core.stats import AccessStats
+
+#: Insert outcomes.
+INSERTED = 0  #: edge placed in this Subblock
+UPDATED = 1  #: edge already present; weight overwritten
+CONGESTED = 2  #: Subblock full; caller must branch out with `overflow` edge
+
+
+@dataclass
+class InsertResult:
+    """Outcome of :func:`rhh_insert` on one Subblock.
+
+    ``overflow_dst``/``overflow_weight`` carry the floating edge that must
+    descend into a child edgeblock when ``status == CONGESTED``.  Because
+    Robin Hood displacement may evict a *different* edge than the one being
+    inserted, the overflow edge's CAL-pointer travels with it.
+    """
+
+    status: int
+    slot: int = -1
+    overflow_dst: int = -1
+    overflow_weight: float = 0.0
+    overflow_cal_block: int = -1
+    overflow_cal_slot: int = -1
+
+
+def _circular_workblocks(start: int, length: int, workblock: int, size: int) -> int:
+    """Distinct Workblocks covered by a circular scan of ``length`` cells.
+
+    The scan starts at ``start`` and wraps within the Subblock (``size``
+    cells; a multiple of ``workblock`` by configuration), so the covered
+    cells are one or two contiguous segments — no per-cell set needed.
+    """
+    if length <= 0:
+        return 0
+    if length >= size:
+        return size // workblock
+    end = start + length  # exclusive
+    if end <= size:
+        return (end - 1) // workblock - start // workblock + 1
+    # wrapped: [start, size) plus [0, end - size).  The wrapped tail ends
+    # below `start` (length < size), so it can only re-enter one already
+    # counted Workblock: the one containing `start`.
+    first = (size - 1) // workblock - start // workblock + 1
+    tail_last = end - size - 1
+    second = tail_last // workblock + 1
+    overlap = 1 if tail_last // workblock == start // workblock else 0
+    return first + second - overlap
+
+
+def _charge_scan(stats: AccessStats, start: int, lengths: tuple[int, ...],
+                 workblock: int, size: int) -> None:
+    """Charge fetches/cells for one or more scan passes from ``start``.
+
+    All passes of one operation start at the same initial bucket, so
+    their Workblock *fetch* union is the longest pass's range (a fetched
+    Workblock stays loaded for the whole operation), while *cells
+    scanned* accumulates every pass's inspections.
+    """
+    stats.workblock_fetches += _circular_workblocks(start, max(lengths), workblock, size)
+    stats.cells_scanned += sum(lengths)
+
+
+def rhh_find(
+    cells: np.ndarray,
+    dst: int,
+    init_bucket: int,
+    workblock: int,
+    stats: AccessStats,
+    rhh_mode: bool,
+) -> int:
+    """Search one Subblock for ``dst``; return its slot or ``-1``.
+
+    ``cells`` is a structured view of the Subblock (EDGE_CELL dtype).
+    The scan starts at ``init_bucket`` and wraps within the Subblock.
+    """
+    size = cells.shape[0]
+    # One bulk copy to Python ints beats per-cell structured-scalar reads
+    # in this hot loop (see the profiling notes in DESIGN.md §2).
+    dsts = cells["dst"].tolist()
+    empty = int(EMPTY)
+    for distance in range(size):
+        slot = init_bucket + distance
+        if slot >= size:
+            slot -= size
+        cell_dst = dsts[slot]
+        if cell_dst == dst:
+            _charge_scan(stats, init_bucket, (distance + 1,), workblock, size)
+            return slot
+        if rhh_mode and cell_dst == empty:
+            _charge_scan(stats, init_bucket, (distance + 1,), workblock, size)
+            return -1
+    _charge_scan(stats, init_bucket, (size,), workblock, size)
+    return -1
+
+
+def rhh_insert(
+    cells: np.ndarray,
+    dst: int,
+    weight: float,
+    init_bucket: int,
+    workblock: int,
+    stats: AccessStats,
+    enable_rhh: bool,
+    cal_block: int = -1,
+    cal_slot: int = -1,
+) -> InsertResult:
+    """Insert ``(dst, weight)`` into one Subblock.
+
+    Runs the FIND stage first (update-in-place if the edge exists), then
+    the INSERT stage.  With ``enable_rhh`` the Robin Hood displacement
+    algorithm balances probe distances; without it (delete-and-compact
+    configuration) a plain linear probe to the first vacant cell is used.
+
+    Returns an :class:`InsertResult`; on ``CONGESTED`` the floating edge
+    (possibly a displaced resident, not the argument edge) is reported so
+    Tree-Based Hashing can continue in a child edgeblock.
+    """
+    size = cells.shape[0]
+    dsts = cells["dst"].tolist()
+    empty, tombstone = int(EMPTY), int(TOMBSTONE)
+
+    # --- FIND stage: replace the weight if the edge already exists. -----
+    found_slot = -1
+    first_vacant = -1
+    find_len = 0
+    for distance in range(size):
+        slot = init_bucket + distance
+        if slot >= size:
+            slot -= size
+        find_len = distance + 1
+        cell_dst = dsts[slot]
+        if cell_dst == dst:
+            found_slot = slot
+            break
+        if cell_dst == empty:
+            if first_vacant < 0:
+                first_vacant = slot
+            if enable_rhh:
+                # Nothing lives beyond an empty cell in delete-only mode.
+                break
+        elif cell_dst == tombstone and first_vacant < 0:
+            first_vacant = slot
+
+    if found_slot >= 0:
+        cells["weight"][found_slot] = weight
+        _charge_scan(stats, init_bucket, (find_len,), workblock, size)
+        stats.workblock_writebacks += 1
+        return InsertResult(UPDATED, slot=found_slot)
+
+    # --- INSERT stage. ---------------------------------------------------
+    if not enable_rhh:
+        _charge_scan(stats, init_bucket, (find_len,), workblock, size)
+        if first_vacant < 0:
+            return InsertResult(
+                CONGESTED,
+                overflow_dst=dst,
+                overflow_weight=weight,
+                overflow_cal_block=cal_block,
+                overflow_cal_slot=cal_slot,
+            )
+        _place(cells, first_vacant, dst, weight, _distance(init_bucket, first_vacant, size), cal_block, cal_slot)
+        stats.workblock_writebacks += 1
+        return InsertResult(INSERTED, slot=first_vacant)
+
+    # Robin Hood displacement: walk the probe path with a floating edge,
+    # swapping whenever the floating edge is strictly poorer than the
+    # resident.  The walk is bounded by one full wrap of the Subblock.
+    float_dst = dst
+    float_weight = weight
+    float_probe = 0
+    float_cal_block = cal_block
+    float_cal_slot = cal_slot
+    float_bucket = init_bucket
+    placed_slot = -1
+    probes = cells["probe"].tolist()
+
+    steps = 0
+    slot = float_bucket
+    while steps < size:
+        if slot >= size:
+            slot -= size
+        cell_dst = dsts[slot]
+        # NB: `dsts`/`probes` are point-in-time copies; the walk visits
+        # each slot at most once (one wrap), so mutations via _place are
+        # never re-read through the stale copies.
+        if cell_dst == empty or cell_dst == tombstone:
+            _place(cells, slot, float_dst, float_weight, float_probe, float_cal_block, float_cal_slot)
+            if placed_slot < 0:
+                placed_slot = slot
+            _charge_scan(stats, init_bucket, (find_len, steps + 1), workblock, size)
+            stats.workblock_writebacks += 1
+            return InsertResult(INSERTED, slot=placed_slot if placed_slot >= 0 else slot)
+        resident_probe = int(probes[slot])
+        if float_probe > resident_probe:
+            # Swap: the floating edge takes the bucket, the resident floats.
+            stats.rhh_swaps += 1
+            r_dst = int(dsts[slot])
+            r_weight = float(cells["weight"][slot])
+            r_cal_block = int(cells["cal_block"][slot])
+            r_cal_slot = int(cells["cal_slot"][slot])
+            _place(cells, slot, float_dst, float_weight, float_probe, float_cal_block, float_cal_slot)
+            if placed_slot < 0:
+                placed_slot = slot
+            float_dst = r_dst
+            float_weight = r_weight
+            float_probe = resident_probe
+            float_cal_block = r_cal_block
+            float_cal_slot = r_cal_slot
+        float_probe += 1
+        slot += 1
+        steps += 1
+
+    # Full wrap without a vacancy: the Subblock is congested.  The edge
+    # still floating overflows to a child edgeblock.  If a displacement
+    # happened along the way the argument edge was placed and a resident
+    # overflows instead.
+    _charge_scan(stats, init_bucket, (find_len, size), workblock, size)
+    if placed_slot >= 0:
+        stats.workblock_writebacks += 1
+    return InsertResult(
+        CONGESTED,
+        slot=placed_slot,
+        overflow_dst=float_dst,
+        overflow_weight=float_weight,
+        overflow_cal_block=float_cal_block,
+        overflow_cal_slot=float_cal_slot,
+    )
+
+
+def rhh_delete(
+    cells: np.ndarray,
+    dst: int,
+    init_bucket: int,
+    workblock: int,
+    stats: AccessStats,
+    rhh_mode: bool,
+) -> int:
+    """Tombstone ``dst`` in one Subblock; return its slot or ``-1``.
+
+    Deletion never erases cell contents eagerly: a tombstone flag keeps
+    the probe chain intact (paper Sec. III.C, delete-only mechanism).
+    The caller decides whether to compact afterwards.
+    """
+    slot = rhh_find(cells, dst, init_bucket, workblock, stats, rhh_mode)
+    if slot < 0:
+        return -1
+    cells["dst"][slot] = TOMBSTONE
+    cells["cal_block"][slot] = -1
+    cells["cal_slot"][slot] = -1
+    stats.workblock_writebacks += 1
+    stats.tombstones_set += 1
+    return slot
+
+
+def _distance(init_bucket: int, slot: int, size: int) -> int:
+    """Wrapped probe distance from ``init_bucket`` to ``slot``."""
+    d = slot - init_bucket
+    return d if d >= 0 else d + size
+
+
+def _place(
+    cells: np.ndarray,
+    slot: int,
+    dst: int,
+    weight: float,
+    probe: int,
+    cal_block: int,
+    cal_slot: int,
+) -> None:
+    cells["dst"][slot] = dst
+    cells["weight"][slot] = weight
+    cells["probe"][slot] = probe
+    cells["cal_block"][slot] = cal_block
+    cells["cal_slot"][slot] = cal_slot

@@ -1,0 +1,189 @@
+"""GraphTinker's interface components (paper Fig. 2).
+
+The paper decomposes the data structure's operation into cooperating
+units: the Scatter-Gather Hashing unit, the *load* unit (fetches the
+relevant Workblocks for the incoming edge), the *find-edge* and
+*insert-edge* units (FIND / UPDATE modes of the RHH process), the
+*inference* and *interval* units (control flow across Workblock
+retrievals of the vertex under inspection), and the *writeback* unit.
+
+In this implementation the per-Workblock mechanics live in
+:mod:`repro.core.robin_hood` and the descent control flow in
+:mod:`repro.core.edgeblock_array`; this module exposes the same
+decomposition as an explicit, stepwise pipeline over one update.  It is
+functionally equivalent to :meth:`GraphTinker.insert_edge` but surfaces
+each unit transition, which the test suite uses to pin the control-flow
+contract and which serves as executable documentation of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import robin_hood as rhh
+from repro.core.graphtinker import GraphTinker
+from repro.core.hashing import initial_bucket, subblock_index
+from repro.core.edgeblock_array import MAIN, OVERFLOW
+
+
+@dataclass
+class UnitTrace:
+    """Record of one update's flow through the Fig. 2 units.
+
+    Each entry of ``steps`` is ``(unit, detail)`` in execution order,
+    e.g. ``("sgh", "34 -> 0")``, ``("load", "gen0 block M0 sb3")``,
+    ``("insert-edge", "slot 5")``, ``("writeback", "1 workblock")``.
+    """
+
+    steps: list[tuple[str, str]] = field(default_factory=list)
+
+    def record(self, unit: str, detail: str) -> None:
+        self.steps.append((unit, detail))
+
+    def units_used(self) -> list[str]:
+        return [u for u, _ in self.steps]
+
+
+class GraphTinkerUnits:
+    """Stepwise (traced) driver over a :class:`GraphTinker` instance."""
+
+    def __init__(self, gt: GraphTinker):
+        self.gt = gt
+
+    def insert_edge_traced(self, src: int, dst: int, weight: float = 1.0) -> tuple[bool, UnitTrace]:
+        """Insert one edge, returning ``(is_new, trace)``.
+
+        Behaviour (final structure state) is identical to
+        :meth:`GraphTinker.insert_edge`; only the bookkeeping differs.
+        """
+        gt = self.gt
+        cfg = gt.config
+        trace = UnitTrace()
+
+        # --- Scatter-Gather Hashing unit --------------------------------
+        if gt.sgh is not None:
+            dense_src = gt.sgh.hash_id(src)
+            trace.record("sgh", f"{src} -> {dense_src}")
+        else:
+            dense_src = int(src)
+            trace.record("sgh", "bypassed")
+
+        eba = gt.eba
+        eba.ensure_vertex(dense_src)
+        nsb = cfg.subblocks_per_block
+
+        # --- find-edge unit: FIND mode over the whole descent chain. ----
+        existing = eba.find(dense_src, dst)
+        if existing is not None:
+            trace.record("find-edge", f"hit at gen-chain {tuple(existing)}")
+            row = (eba.main if existing.region == MAIN else eba.overflow).row(existing.block)
+            row["weight"][existing.slot] = float(weight)
+            eba.stats.workblock_writebacks += 1
+            trace.record("writeback", "weight update")
+            if gt.cal is not None:
+                cal_block, cal_slot = eba.get_cal_pointer(existing)
+                if cal_block >= 0:
+                    gt.cal.update_weight(cal_block, cal_slot, float(weight))
+                    trace.record("writeback", "CAL weight update")
+            return False, trace
+        trace.record("find-edge", "miss (all generations)")
+
+        region, block = MAIN, dense_src
+        f_dst, f_weight = int(dst), float(weight)
+        f_cal_block = f_cal_slot = -1
+        arg_location = None
+        arg_is_new = True
+
+        for gen in range(cfg.max_generations):
+            # --- interval unit: selects the Subblock for this generation.
+            sb = subblock_index(f_dst, gen, nsb, cfg.seed)
+            ib = initial_bucket(f_dst, gen, cfg.subblock, cfg.seed)
+            trace.record("interval", f"gen{gen} sb{sb} bucket{ib}")
+
+            # --- load unit: retrieves the Subblock's Workblocks.
+            cells = eba._subblock_cells(region, block, sb)
+            tag = "M" if region == MAIN else "O"
+            trace.record("load", f"gen{gen} block {tag}{block} sb{sb}")
+
+            # --- find-edge / insert-edge units: the RHH process.
+            res = rhh.rhh_insert(
+                cells, f_dst, f_weight, ib, cfg.workblock, eba.stats,
+                eba._rhh_on, f_cal_block, f_cal_slot,
+            )
+            assert res.status != rhh.UPDATED, "FIND stage already ruled out duplicates"
+            if res.status == rhh.INSERTED:
+                trace.record("insert-edge", f"slot {res.slot}")
+                trace.record("writeback", "1 workblock")
+                if arg_location is None:
+                    arg_location = (region, block, sb * cfg.subblock + res.slot)
+                eba._degrees[dense_src] += 1
+                eba.stats.edges_inserted += 1
+                break
+            # --- inference unit: decides to continue in a child edgeblock.
+            trace.record("inference", f"gen{gen} congested -> descend")
+            if arg_location is None and res.slot >= 0:
+                arg_location = (region, block, sb * cfg.subblock + res.slot)
+            region, block = eba._descend(region, block, sb, allocate=True)
+            f_dst, f_weight = res.overflow_dst, res.overflow_weight
+            f_cal_block, f_cal_slot = res.overflow_cal_block, res.overflow_cal_slot
+        else:  # pragma: no cover - mirrors EdgeblockArray.insert guard
+            raise RuntimeError("max_generations exhausted")
+
+        # --- facade-level bookkeeping (degree + CAL copy), as in
+        #     GraphTinker.insert_edge.
+        from repro.core.edgeblock_array import EdgeLocation
+
+        loc = EdgeLocation(*arg_location)
+        gt.vpa.add_degree(dense_src, 1)
+        if gt.cal is not None:
+            cal_block, cal_slot = gt.cal.append(dense_src, int(dst), float(weight))
+            eba.set_cal_pointer(loc, cal_block, cal_slot)
+            trace.record("writeback", f"CAL copy @({cal_block},{cal_slot})")
+        return arg_is_new, trace
+
+    def delete_edge_traced(self, src: int, dst: int) -> tuple[bool, UnitTrace]:
+        """Delete one edge, returning ``(deleted, trace)``.
+
+        Exercises the FIND mode of the find-edge unit (deletion must
+        locate the edge through the same Workblock-retrieval pipeline),
+        then the writeback unit for the tombstone and CAL invalidation.
+        Behaviourally identical to :meth:`GraphTinker.delete_edge`.
+        """
+        gt = self.gt
+        trace = UnitTrace()
+
+        if gt.sgh is not None:
+            dense_src = gt.sgh.try_lookup(src)
+            if dense_src is None:
+                trace.record("sgh", f"{src} unknown")
+                return False, trace
+            trace.record("sgh", f"{src} -> {dense_src}")
+        else:
+            dense_src = int(src)
+            trace.record("sgh", "bypassed")
+
+        eba = gt.eba
+        trace.record("load", f"FIND-mode descent for dst {dst}")
+        cal_ptr = eba.delete(dense_src, dst)
+        if cal_ptr is None:
+            trace.record("find-edge", "miss (all generations)")
+            return False, trace
+        trace.record("find-edge", "hit")
+        trace.record("writeback", "tombstone")
+        gt.vpa.add_degree(dense_src, -1)
+        if gt.cal is not None and cal_ptr[0] >= 0:
+            if gt.config.compact_on_delete:
+                moved = gt.cal.compact_delete(*cal_ptr)
+                trace.record("writeback", "CAL compact-delete")
+                if moved is not None:
+                    m_src, m_dst, _, _ = moved
+                    loc = eba.find(m_src, m_dst)
+                    assert loc is not None, "CAL copy without an owner"
+                    eba.set_cal_pointer(loc, *cal_ptr)
+                    trace.record("writeback", "re-point moved CAL copy")
+            else:
+                gt.cal.invalidate(*cal_ptr)
+                trace.record("writeback", "CAL invalidate")
+        return True, trace

@@ -1,0 +1,30 @@
+"""The hybrid graph engine: edge-centric GAS over dynamic stores."""
+
+from repro.engine.gas import GASProgram
+from repro.engine.hybrid import (
+    ComputeResult,
+    HybridEngine,
+    IterationRecord,
+    POLICY_FULL,
+    POLICY_HYBRID,
+    POLICY_INCREMENTAL,
+)
+from repro.engine.modes import FULL, INCREMENTAL
+from repro.engine.algorithms import BFS, SSSP, ConnectedComponents, PageRank, HeatSimulation
+
+__all__ = [
+    "BFS",
+    "SSSP",
+    "ConnectedComponents",
+    "ComputeResult",
+    "FULL",
+    "GASProgram",
+    "HeatSimulation",
+    "HybridEngine",
+    "INCREMENTAL",
+    "IterationRecord",
+    "POLICY_FULL",
+    "POLICY_HYBRID",
+    "POLICY_INCREMENTAL",
+    "PageRank",
+]

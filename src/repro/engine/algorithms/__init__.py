@@ -1,0 +1,10 @@
+"""GAS algorithm programs: the paper's three benchmarks plus extensions."""
+
+from repro.engine.algorithms.bfs import BFS
+from repro.engine.algorithms.sssp import SSSP
+from repro.engine.algorithms.sswp import SSWP
+from repro.engine.algorithms.cc import ConnectedComponents
+from repro.engine.algorithms.pagerank import PageRank
+from repro.engine.algorithms.heat import HeatSimulation
+
+__all__ = ["BFS", "SSSP", "SSWP", "ConnectedComponents", "PageRank", "HeatSimulation"]

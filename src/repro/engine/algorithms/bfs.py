@@ -1,0 +1,29 @@
+"""Breadth-first search as an edge-centric GAS program.
+
+Vertex property = BFS level (hop distance from the root); an edge's
+message is ``level(src) + 1`` and the reduction keeps the minimum, so the
+fixed point is exactly the BFS levels.  Monotone under insertions: new
+edges can only shorten levels, which is what makes incremental processing
+after a batch insert sound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.gas import GASProgram
+
+
+class BFS(GASProgram):
+    """BFS levels from one or more roots."""
+
+    name = "bfs"
+    undirected = False
+    monotone = True
+    needs_weights = False
+
+    def initial_value(self) -> float:
+        return np.inf
+
+    def edge_messages(self, src_values, weights, src=None):
+        return src_values + 1.0

@@ -1,0 +1,29 @@
+"""Single-source shortest paths as an edge-centric GAS program.
+
+Vertex property = tentative distance; message = ``dist(src) + w(edge)``;
+min-reduction.  This is Bellman-Ford in GAS form: each engine iteration
+relaxes every loaded edge (full mode) or the active frontier's edges
+(incremental mode), converging to shortest distances for non-negative
+weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.gas import GASProgram
+
+
+class SSSP(GASProgram):
+    """Shortest distances from one or more roots (non-negative weights)."""
+
+    name = "sssp"
+    undirected = False
+    monotone = True
+    needs_weights = True
+
+    def initial_value(self) -> float:
+        return np.inf
+
+    def edge_messages(self, src_values, weights, src=None):
+        return src_values + weights

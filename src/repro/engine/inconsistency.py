@@ -1,0 +1,29 @@
+"""The Set-Inconsistency-Vertices unit (paper Sec. IV.C).
+
+After every batch update and before graph processing starts, the vertices
+whose properties may have changed because of the update — the
+*inconsistency vertices* — must be identified; they become the first
+active set.  The membership rule is algorithm-dependent (the paper's
+examples: batch sources for BFS, both endpoints for weakly-connected
+components), and the unit "is automatically generated depending on the
+algorithm to be run" — here, derived from the program's declared
+directionality, with an override hook on the program itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.gas import GASProgram
+
+
+def inconsistent_vertices(program: GASProgram, batch: np.ndarray) -> np.ndarray:
+    """Initial active set implied by an update batch for ``program``.
+
+    Delegates to :meth:`GASProgram.inconsistent_vertices` (default:
+    sources for directed programs, both endpoints for undirected ones).
+    """
+    batch = np.asarray(batch, dtype=np.int64)
+    if batch.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return program.inconsistent_vertices(batch.reshape(-1, 2))

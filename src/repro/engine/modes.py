@@ -1,0 +1,121 @@
+"""Execution modes: full-processing (FP) and incremental-processing (IP).
+
+The two load paths of the paper's LoadEdges unit (Sec. IV.C):
+
+* **FP** streams the *entire* live edge set from the CAL EdgeblockArray —
+  contiguous block reads, no per-vertex indirection, but work proportional
+  to |E| regardless of how few vertices are active.
+* **IP** gathers only the out-edges of the *active* vertices from the
+  EdgeblockArray — work proportional to the frontier, but every vertex
+  visit costs non-contiguous block reads.
+
+Both produce the same ``(src, dst, weight)`` triple arrays for the GAS
+processing phase, so an iteration computes identical results under either
+mode; only the access pattern (and hence cost) differs.  That equivalence
+is what lets the hybrid engine flip modes per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+#: Mode identifiers (also used in iteration traces and reports).
+FULL = "FP"
+INCREMENTAL = "IP"
+#: Vertex-centric full processing (paper Sec. IV.A future work): iterate
+#: *vertices* and gather each one's out-edges from the EdgeblockArray,
+#: instead of streaming the edge set from the CAL.
+FULL_VC = "FP-VC"
+
+
+class Store(Protocol):
+    """The store interface the engine requires (GraphTinker or STINGER)."""
+
+    @property
+    def n_edges(self) -> int: ...
+    @property
+    def n_vertices(self) -> int: ...
+    def analytics_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]: ...
+    def neighbors(self, src: int) -> tuple[np.ndarray, np.ndarray]: ...
+    def degree(self, src: int) -> int: ...
+
+
+def load_edges_full(store: Store) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """FP load: stream every live edge (original ids).
+
+    For GraphTinker this goes through the CAL (sequential block reads);
+    for STINGER it sweeps every vertex chain (random block reads) — the
+    structural difference behind the Figs. 11-13 gap.
+
+    Per-cell inspection costs are charged inside the stores' retrieval
+    paths (every *slot* of every block visited, occupied or not), which
+    is what makes full mode not free when the frontier is tiny and what
+    makes sparse layouts pay — the trade-offs the paper's T = A/E
+    threshold and PAGEWIDTH sweeps measure.
+    """
+    return store.analytics_edges()
+
+
+def load_edges_full_vertex_centric(
+    store: Store,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """VC full load: visit every vertex, gathering its out-edges.
+
+    The vertex-centric framing of the GAS model (paper Sec. IV.A) whose
+    efficiency the paper leaves to future work.  On GraphTinker this
+    reads the EdgeblockArray per vertex (random block reads over
+    PAGEWIDTH-wide blocks) rather than streaming the CAL, so comparing it
+    against :func:`load_edges_full` quantifies exactly what the
+    edge-centric + CAL combination buys — see
+    ``benchmarks/bench_vertex_centric.py``.
+    """
+    if hasattr(store, "eba"):
+        vertices = np.arange(store.eba.n_vertices, dtype=np.int64)
+        srcs: list[np.ndarray] = []
+        dsts: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        for dense in vertices.tolist():
+            dst, weight = store.neighbors_dense(dense)
+            if dst.shape[0]:
+                srcs.append(np.full(dst.shape[0], dense, dtype=np.int64))
+                dsts.append(dst)
+                weights.append(weight)
+        if not srcs:
+            empty_i = np.empty(0, dtype=np.int64)
+            return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64)
+        return (
+            store.original_ids(np.concatenate(srcs)),
+            np.concatenate(dsts),
+            np.concatenate(weights),
+        )
+    # STINGER (and any chain store): its full sweep already is a
+    # per-vertex gather, so VC and EC coincide there.
+    return store.analytics_edges()
+
+
+def load_edges_incremental(
+    store: Store, active: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """IP load: gather the out-edges of the active vertices only.
+
+    Vertices with no out-edges (pure sinks, or ids never inserted as a
+    source) contribute nothing; GraphTinker resolves them with one SGH
+    probe, STINGER with one Logical-Vertex-Array read.
+    """
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    for v in np.asarray(active, dtype=np.int64).tolist():
+        if store.degree(v) == 0:
+            continue
+        dst, weight = store.neighbors(v)
+        if dst.shape[0]:
+            srcs.append(np.full(dst.shape[0], v, dtype=np.int64))
+            dsts.append(dst)
+            weights.append(weight)
+    if not srcs:
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64)
+    return np.concatenate(srcs), np.concatenate(dsts), np.concatenate(weights)

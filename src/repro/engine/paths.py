@@ -1,0 +1,103 @@
+"""Path reconstruction from converged BFS/SSSP property vectors.
+
+The engine computes distance/level vectors; users usually also want the
+actual route.  Rather than burdening the hot scatter loop with parent
+tracking, parents are recovered *after* convergence with one vectorised
+pass over the live edge set: an edge (u, v, w) is a *witness* for v iff
+``value[u] + cost(u, v) == value[v]``, i.e. it lies on some optimal path.
+Walking witnesses backwards from a target yields an optimal path in
+O(path length) dictionary hops.
+
+Works unchanged for BFS (cost = 1) and SSSP (cost = w); both are
+min-plus fixed points, which is exactly the witness condition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EngineError
+
+
+def predecessor_map(
+    src: np.ndarray,
+    dst: np.ndarray,
+    weight: np.ndarray,
+    values: np.ndarray,
+    unit_cost: bool = False,
+    tol: float = 1e-9,
+) -> dict[int, int]:
+    """Map every optimally-reached vertex to one optimal predecessor.
+
+    Parameters
+    ----------
+    src, dst, weight:
+        The live edge arrays (``store.analytics_edges()``).
+    values:
+        The converged property vector (levels or distances).
+    unit_cost:
+        True for BFS semantics (every edge costs 1), False to use
+        ``weight`` (SSSP).
+    """
+    if src.size == 0:
+        return {}
+    horizon = values.shape[0]
+    mask = (src < horizon) & (dst < horizon)
+    s, d, w = src[mask], dst[mask], weight[mask]
+    cost = np.ones_like(w) if unit_cost else w
+    sv = values[s]
+    finite = np.isfinite(sv) & np.isfinite(values[d])
+    s, d, cost, sv = s[finite], d[finite], cost[finite], sv[finite]
+    witness = np.abs(sv + cost - values[d]) <= tol
+    out: dict[int, int] = {}
+    for u, v in zip(s[witness].tolist(), d[witness].tolist()):
+        out.setdefault(v, u)  # first witness wins; any witness is optimal
+    return out
+
+
+def reconstruct_path(
+    store,
+    values: np.ndarray,
+    root: int,
+    target: int,
+    unit_cost: bool = False,
+) -> list[int]:
+    """Return one optimal path ``[root, ..., target]``.
+
+    Raises
+    ------
+    EngineError
+        If ``target`` is unreached (infinite property) or the witness
+        walk cannot close the path (stale ``values`` for this store).
+    """
+    if target >= values.shape[0] or not np.isfinite(values[target]):
+        raise EngineError(f"vertex {target} is not reached from {root}")
+    if target == root:
+        return [root]
+    src, dst, weight = store.analytics_edges()
+    parents = predecessor_map(src, dst, weight, values, unit_cost=unit_cost)
+    path = [target]
+    seen = {target}
+    node = target
+    while node != root:
+        node = parents.get(node)
+        if node is None or node in seen:
+            raise EngineError(
+                "no witness chain back to the root — the value vector does "
+                "not correspond to this store's current edge set"
+            )
+        seen.add(node)
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def path_cost(store, path: list[int], unit_cost: bool = False) -> float:
+    """Total cost of a concrete path through the store's current edges."""
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        w = store.edge_weight(u, v)
+        if w is None:
+            raise EngineError(f"path edge ({u}, {v}) is not in the store")
+        total += 1.0 if unit_cost else w
+    return total

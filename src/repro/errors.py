@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised on a public code path derives from :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied."""
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity structure could not accommodate an element.
+
+    This is an internal signal in most cases (e.g. a congested Subblock
+    triggers a branch-out rather than surfacing the error), but it becomes
+    user-visible when a hard capacity cap (``max_generations``) is exhausted.
+    """
+
+
+class VertexNotFoundError(ReproError, KeyError):
+    """The requested vertex does not exist in the structure."""
+
+
+class EdgeNotFoundError(ReproError, KeyError):
+    """The requested edge does not exist in the structure."""
+
+
+class EngineError(ReproError):
+    """The graph engine was driven with an inconsistent request."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload/dataset request could not be satisfied."""

@@ -1,0 +1,8 @@
+"""STINGER baseline: the adjacency-list dynamic graph store the paper
+compares against (Ediger et al., HPEC 2012; configured per Sec. V.A with
+an edgeblock size of 16).
+"""
+
+from repro.stinger.stinger import Stinger
+
+__all__ = ["Stinger"]

@@ -1,0 +1,15 @@
+"""Workload generation: Graph500 RMAT, dataset registry, edge streams, I/O."""
+
+from repro.workloads.rmat import rmat_edges
+from repro.workloads.datasets import DATASETS, Dataset, load_dataset, scale_factor
+from repro.workloads.streams import EdgeStream, batch_view
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "EdgeStream",
+    "batch_view",
+    "load_dataset",
+    "rmat_edges",
+    "scale_factor",
+]

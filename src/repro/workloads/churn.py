@@ -1,0 +1,120 @@
+"""Churn workloads: sustained interleaved insert/delete streams.
+
+The paper's deletion protocol (Figs. 14-16) loads the graph fully and
+then drains it.  Production dynamic graphs instead churn at a steady
+state: a sliding window over an event stream inserts new edges while
+expiring old ones, keeping the live size roughly constant.  These
+generators produce that shape so the deletion mechanisms can be compared
+where it matters most — equilibrium behaviour over unbounded streams
+(``benchmarks/bench_churn_steady_state.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ChurnStep:
+    """One step of a churn schedule: insert these, then delete those."""
+
+    inserts: np.ndarray
+    deletes: np.ndarray
+
+    @property
+    def n_inserts(self) -> int:
+        return int(self.inserts.shape[0])
+
+    @property
+    def n_deletes(self) -> int:
+        return int(self.deletes.shape[0])
+
+
+def sliding_window(
+    edges: np.ndarray,
+    window: int,
+    step: int,
+) -> Iterator[ChurnStep]:
+    """Slide a ``window``-edge window over a stream in ``step``-edge hops.
+
+    Step *k* inserts edges ``[k*step, k*step + step)`` and deletes the
+    edges that fall out of the window's trailing edge.  Until the window
+    fills, nothing is deleted; afterwards the live edge count stays at
+    ``window`` (modulo duplicates in the stream).  Iteration ends when
+    the stream is exhausted; a final drain of the remaining window is
+    NOT emitted (steady state is the object of study).
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise WorkloadError("edges must have shape (n, 2)")
+    if window <= 0 or step <= 0:
+        raise WorkloadError("window and step must be positive")
+    if step > window:
+        raise WorkloadError("step cannot exceed window")
+    empty = np.empty((0, 2), dtype=np.int64)
+    for lo in range(0, edges.shape[0], step):
+        inserts = edges[lo : lo + step]
+        expire_hi = lo + inserts.shape[0] - window
+        deletes = edges[max(0, expire_hi - step) : max(0, expire_hi)]
+        yield ChurnStep(inserts=inserts, deletes=deletes)
+
+
+def churn_mix(
+    edges: np.ndarray,
+    n_steps: int,
+    step_size: int,
+    delete_fraction: float = 0.5,
+    seed: int = 0,
+) -> Iterator[ChurnStep]:
+    """Random churn: each step inserts fresh edges and deletes a random
+    sample of currently-live ones.
+
+    Unlike :func:`sliding_window` (FIFO expiry), deletions here are
+    uniform over the live set — the adversarial case for compaction,
+    since holes appear everywhere rather than in arrival order.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if step_size <= 0 or n_steps <= 0:
+        raise WorkloadError("n_steps and step_size must be positive")
+    if not (0.0 <= delete_fraction <= 1.0):
+        raise WorkloadError("delete_fraction must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    live: list[tuple[int, int]] = []
+    live_set: set[tuple[int, int]] = set()
+    cursor = 0
+    for _ in range(n_steps):
+        if cursor >= edges.shape[0]:
+            break
+        batch = edges[cursor : cursor + step_size]
+        cursor += batch.shape[0]
+        fresh = [t for t in map(tuple, batch.tolist()) if t not in live_set]
+        live.extend(fresh)
+        live_set.update(fresh)
+        n_del = min(int(len(fresh) * delete_fraction), len(live))
+        if n_del:
+            pick = rng.choice(len(live), size=n_del, replace=False)
+            doomed = [live[i] for i in sorted(pick.tolist(), reverse=True)]
+            for i in sorted(pick.tolist(), reverse=True):
+                live_set.discard(live[i])
+                live[i] = live[-1]
+                live.pop()
+            deletes = np.asarray(doomed, dtype=np.int64).reshape(-1, 2)
+        else:
+            deletes = np.empty((0, 2), dtype=np.int64)
+        yield ChurnStep(inserts=batch, deletes=deletes)
+
+
+def apply_churn(store, steps: Iterator[ChurnStep]) -> tuple[int, int]:
+    """Drive a store through a churn schedule; returns (inserted, deleted)."""
+    total_in = total_del = 0
+    for step in steps:
+        if step.n_inserts:
+            total_in += store.insert_batch(step.inserts)
+        if step.n_deletes:
+            total_del += store.delete_batch(step.deletes)
+    return total_in, total_del

@@ -1,0 +1,101 @@
+"""Edge-list I/O: plain text and Matrix-Market-style readers/writers.
+
+The paper's real-world inputs come from the UF Sparse Matrix Collection
+(MatrixMarket ``.mtx`` files); this module provides the readers a user
+would need to feed such files in, plus a simple whitespace edge-list
+format for interchange with other tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def write_edge_list(path: str | Path, edges: np.ndarray, weights: np.ndarray | None = None) -> None:
+    """Write ``src dst [weight]`` lines."""
+    edges = np.asarray(edges, dtype=np.int64)
+    if weights is None:
+        np.savetxt(path, edges, fmt="%d")
+    else:
+        data = np.column_stack([edges.astype(np.float64), np.asarray(weights, dtype=np.float64)])
+        np.savetxt(path, data, fmt=("%d", "%d", "%.10g"))
+
+
+def read_edge_list(path: str | Path) -> tuple[np.ndarray, np.ndarray | None]:
+    """Read ``src dst [weight]`` lines -> ``(edges, weights_or_None)``.
+
+    Lines starting with ``#`` or ``%`` are comments; blank lines skipped.
+    """
+    rows: list[tuple[int, int]] = []
+    weights: list[float] = []
+    has_weights: bool | None = None
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise WorkloadError(f"{path}:{lineno}: expected 2 or 3 fields, got {len(parts)}")
+            if has_weights is None:
+                has_weights = len(parts) == 3
+            elif has_weights != (len(parts) == 3):
+                raise WorkloadError(f"{path}:{lineno}: inconsistent field count")
+            rows.append((int(parts[0]), int(parts[1])))
+            if has_weights:
+                weights.append(float(parts[2]))
+    edges = np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+    return edges, (np.asarray(weights, dtype=np.float64) if has_weights else None)
+
+
+def read_mtx(path: str | Path) -> np.ndarray:
+    """Read a MatrixMarket coordinate file into a 0-based edge array.
+
+    Handles the ``%%MatrixMarket`` banner, ``%`` comments and the
+    ``rows cols nnz`` size line; symmetric matrices are expanded to both
+    directions (matching how graph frameworks ingest UF collection
+    graphs).  Entry values, if present, are ignored (pattern semantics).
+    """
+    symmetric = False
+    edges: list[tuple[int, int]] = []
+    size_seen = False
+    with open(path) as fh:
+        first = fh.readline()
+        if not first.startswith("%%MatrixMarket"):
+            raise WorkloadError(f"{path}: missing MatrixMarket banner")
+        symmetric = "symmetric" in first.lower()
+        for lineno, line in enumerate(fh, 2):
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            if not size_seen:
+                if len(parts) != 3:
+                    raise WorkloadError(f"{path}:{lineno}: malformed size line")
+                size_seen = True
+                continue
+            if len(parts) < 2:
+                raise WorkloadError(f"{path}:{lineno}: malformed entry")
+            i, j = int(parts[0]) - 1, int(parts[1]) - 1
+            edges.append((i, j))
+            if symmetric and i != j:
+                edges.append((j, i))
+    if not size_seen:
+        raise WorkloadError(f"{path}: no size line found")
+    return np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+
+
+def write_mtx(path: str | Path, edges: np.ndarray, n_vertices: int | None = None) -> None:
+    """Write a (general, pattern) MatrixMarket coordinate file."""
+    edges = np.asarray(edges, dtype=np.int64)
+    if n_vertices is None:
+        n_vertices = int(edges.max()) + 1 if edges.size else 0
+    with open(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate pattern general\n")
+        fh.write(f"{n_vertices} {n_vertices} {edges.shape[0]}\n")
+        for s, d in edges + 1:
+            fh.write(f"{s} {d}\n")

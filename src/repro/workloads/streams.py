@@ -1,0 +1,123 @@
+"""Edge-stream batching for dynamic-graph experiments.
+
+The paper's evaluation drives every experiment as a sequence of fixed-size
+update batches (1M edges per batch at full scale): load a batch, then
+optionally run analytics, repeat.  :class:`EdgeStream` packages an edge
+array into that shape and also produces the deletion streams of Figs.
+14-16 (graph loaded fully, then deleted batch by batch until empty).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def batch_view(edges: np.ndarray, batch_size: int) -> list[np.ndarray]:
+    """Split an edge array into consecutive batch views (no copies)."""
+    if batch_size <= 0:
+        raise WorkloadError("batch_size must be positive")
+    return [edges[i : i + batch_size] for i in range(0, edges.shape[0], batch_size)]
+
+
+class EdgeStream:
+    """A replayable stream of update batches over a fixed edge list.
+
+    Parameters
+    ----------
+    edges:
+        ``(n, 2)`` int64 edge array (first-appearance order is the
+        arrival order).
+    batch_size:
+        Edges per update batch.
+    """
+
+    def __init__(self, edges: np.ndarray, batch_size: int):
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise WorkloadError("edges must have shape (n, 2)")
+        if batch_size <= 0:
+            raise WorkloadError("batch_size must be positive")
+        self.edges = edges
+        self.batch_size = batch_size
+
+    @property
+    def n_edges(self) -> int:
+        return self.edges.shape[0]
+
+    @property
+    def n_batches(self) -> int:
+        return -(-self.n_edges // self.batch_size)
+
+    def insert_batches(self) -> Iterator[np.ndarray]:
+        """Yield batches in arrival order (the insertion experiments)."""
+        for i in range(0, self.n_edges, self.batch_size):
+            yield self.edges[i : i + self.batch_size]
+
+    def delete_batches(self, seed: int | None = 0) -> Iterator[np.ndarray]:
+        """Yield batches of the same edges for deletion.
+
+        With ``seed`` an int, the deletion order is a deterministic
+        shuffle (deletions in practice do not arrive in insertion order);
+        ``None`` keeps insertion order.
+        """
+        if seed is None:
+            order = np.arange(self.n_edges)
+        else:
+            order = np.random.default_rng(seed).permutation(self.n_edges)
+        shuffled = self.edges[order]
+        for i in range(0, self.n_edges, self.batch_size):
+            yield shuffled[i : i + self.batch_size]
+
+    def prefix(self, n: int) -> "EdgeStream":
+        """Stream over only the first ``n`` edges (same batch size)."""
+        return EdgeStream(self.edges[:n], self.batch_size)
+
+
+def interleaved_schedule(
+    n_batches: int, updates: int, analytics: int
+) -> list[tuple[int, int]]:
+    """Schedule for the update/analytics-ratio experiment (Fig. 19).
+
+    The insertion process is intercepted ``updates`` times, evenly spaced
+    across the batch sequence; each interception runs ``analytics``
+    analytics passes.  Returns ``(after_batch_index, n_analytics)`` pairs;
+    e.g. ratio 4:7 over 32 batches -> intercept after every 8th batch and
+    run 7 analytics each time.
+    """
+    if n_batches <= 0 or updates <= 0 or analytics <= 0:
+        raise WorkloadError("n_batches, updates and analytics must be positive")
+    updates = min(updates, n_batches)
+    stride = n_batches // updates
+    return [(stride * (k + 1) - 1, analytics) for k in range(updates)]
+
+
+def symmetrize(edges: np.ndarray) -> np.ndarray:
+    """Interleave each edge with its reverse: ``(u, v)`` then ``(v, u)``.
+
+    Undirected-graph algorithms (weakly-connected components) require a
+    symmetrised stream so a vertex's own out-edges cover all its incident
+    edges — the ingestion convention for symmetric UF-collection
+    matrices.  Interleaving keeps both directions in the same update
+    batch, so a batch never leaves the store half-symmetric.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    out = np.empty((edges.shape[0] * 2, 2), dtype=np.int64)
+    out[0::2] = edges
+    out[1::2] = edges[:, ::-1]
+    return out
+
+
+def highest_degree_roots(edges: np.ndarray, k: int = 20) -> np.ndarray:
+    """The ``k`` highest-out-degree sources (Fig. 19 pre-collects 20).
+
+    Ties break toward smaller vertex id, deterministically.
+    """
+    if edges.shape[0] == 0:
+        raise WorkloadError("cannot pick roots from an empty edge list")
+    srcs, counts = np.unique(edges[:, 0], return_counts=True)
+    order = np.lexsort((srcs, -counts))
+    return srcs[order[:k]]

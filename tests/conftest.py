@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import GTConfig, StingerConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_config() -> GTConfig:
+    """A tiny geometry that forces branch-outs quickly."""
+    return GTConfig(pagewidth=16, subblock=4, workblock=2, initial_vertices=2,
+                    cal_group_width=8, cal_block_size=8)
+
+
+@pytest.fixture
+def paper_config() -> GTConfig:
+    """The paper's default geometry (PW 64 / SB 8 / WB 4)."""
+    return GTConfig()
+
+
+@pytest.fixture
+def stinger_config() -> StingerConfig:
+    return StingerConfig(edgeblock_size=4, initial_vertices=2)
+
+
+@pytest.fixture
+def random_edges(rng) -> np.ndarray:
+    """A duplicate-bearing random edge batch over a small id space."""
+    return np.column_stack(
+        [rng.integers(0, 60, 3000), rng.integers(0, 200, 3000)]
+    ).astype(np.int64)

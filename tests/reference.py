@@ -1,0 +1,68 @@
+"""A trivially-correct reference dynamic graph (the test oracle).
+
+Dict-of-dicts: ``adj[src][dst] = weight``.  Used as the model in
+hypothesis stateful tests and as the expected state in randomized
+integration tests — if GraphTinker or STINGER ever disagree with this,
+the data structure is wrong.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ReferenceGraph:
+    """Minimal correct dynamic directed multigraph-without-duplicates."""
+
+    def __init__(self) -> None:
+        self.adj: dict[int, dict[int, float]] = {}
+
+    def insert_edge(self, src: int, dst: int, weight: float = 1.0) -> bool:
+        nbrs = self.adj.setdefault(int(src), {})
+        is_new = int(dst) not in nbrs
+        nbrs[int(dst)] = float(weight)
+        return is_new
+
+    def delete_edge(self, src: int, dst: int) -> bool:
+        nbrs = self.adj.get(int(src))
+        if not nbrs or int(dst) not in nbrs:
+            return False
+        del nbrs[int(dst)]
+        return True
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return int(dst) in self.adj.get(int(src), {})
+
+    def edge_weight(self, src: int, dst: int) -> float | None:
+        return self.adj.get(int(src), {}).get(int(dst))
+
+    def degree(self, src: int) -> int:
+        return len(self.adj.get(int(src), {}))
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(n) for n in self.adj.values())
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        return {(s, d) for s, nbrs in self.adj.items() for d in nbrs}
+
+    def weighted_edges(self) -> dict[tuple[int, int], float]:
+        return {
+            (s, d): w for s, nbrs in self.adj.items() for d, w in nbrs.items()
+        }
+
+    def neighbors(self, src: int) -> set[int]:
+        return set(self.adj.get(int(src), {}))
+
+
+def assert_store_matches(store, ref: ReferenceGraph) -> None:
+    """Assert a store's full edge content equals the reference's."""
+    assert store.n_edges == ref.n_edges
+    got = {}
+    for s, d, w in store.edges():
+        assert (s, d) not in got, f"store yielded duplicate edge {(s, d)}"
+        got[(s, d)] = w
+    expected = ref.weighted_edges()
+    assert set(got) == set(expected)
+    for key, w in expected.items():
+        assert abs(got[key] - w) < 1e-12, key

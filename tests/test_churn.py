@@ -1,0 +1,93 @@
+"""Tests for the churn workload generators."""
+
+import numpy as np
+import pytest
+
+from repro import GraphTinker, GTConfig
+from repro.errors import WorkloadError
+from repro.workloads.churn import ChurnStep, apply_churn, churn_mix, sliding_window
+from repro.workloads.rmat import rmat_edges_unique
+
+
+@pytest.fixture(scope="module")
+def unique_edges():
+    return rmat_edges_unique(10, 4000, seed=6)
+
+
+class TestSlidingWindow:
+    def test_window_fills_before_deleting(self, unique_edges):
+        steps = list(sliding_window(unique_edges[:1000], window=600, step=200))
+        assert [s.n_deletes for s in steps[:3]] == [0, 0, 0]
+        assert steps[3].n_deletes == 200  # window overflows at 800
+        assert all(s.n_inserts == 200 for s in steps)
+
+    def test_deletes_are_fifo(self, unique_edges):
+        steps = list(sliding_window(unique_edges[:1000], window=400, step=200))
+        # the first deletion batch expires the first-inserted edges
+        first_deleting = next(s for s in steps if s.n_deletes)
+        assert (first_deleting.deletes == unique_edges[:200]).all()
+
+    def test_steady_state_live_size(self, unique_edges):
+        gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+        sizes = []
+        for step in sliding_window(unique_edges, window=800, step=200):
+            if step.n_inserts:
+                gt.insert_batch(step.inserts)
+            if step.n_deletes:
+                gt.delete_batch(step.deletes)
+            sizes.append(gt.n_edges)
+        # equilibrium: the live size settles at the window size
+        assert sizes[-1] == 800
+        assert max(sizes) <= 1000
+        gt.check_invariants()
+
+    @pytest.mark.parametrize("window,step", [(0, 1), (10, 0), (5, 10)])
+    def test_bad_parameters(self, unique_edges, window, step):
+        with pytest.raises(WorkloadError):
+            list(sliding_window(unique_edges, window, step))
+
+    def test_bad_shape(self):
+        with pytest.raises(WorkloadError):
+            list(sliding_window(np.zeros((3, 3), dtype=np.int64), 2, 1))
+
+
+class TestChurnMix:
+    def test_deterministic_per_seed(self, unique_edges):
+        a = list(churn_mix(unique_edges, 5, 100, seed=3))
+        b = list(churn_mix(unique_edges, 5, 100, seed=3))
+        for sa, sb in zip(a, b):
+            assert (sa.inserts == sb.inserts).all()
+            assert (sa.deletes == sb.deletes).all()
+
+    def test_delete_fraction_zero_never_deletes(self, unique_edges):
+        steps = list(churn_mix(unique_edges, 6, 100, delete_fraction=0.0))
+        assert all(s.n_deletes == 0 for s in steps)
+
+    def test_deletes_only_live_edges(self, unique_edges):
+        """Every delete targets an edge that is live at that moment."""
+        gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+        for step in churn_mix(unique_edges, 12, 150, delete_fraction=0.6, seed=1):
+            gt.insert_batch(step.inserts)
+            if step.n_deletes:
+                deleted = gt.delete_batch(step.deletes)
+                assert deleted == step.n_deletes
+        gt.check_invariants()
+
+    def test_stops_when_stream_exhausted(self, unique_edges):
+        steps = list(churn_mix(unique_edges[:300], 100, 100))
+        assert len(steps) == 3
+
+    def test_bad_parameters(self, unique_edges):
+        with pytest.raises(WorkloadError):
+            list(churn_mix(unique_edges, 0, 10))
+        with pytest.raises(WorkloadError):
+            list(churn_mix(unique_edges, 1, 10, delete_fraction=1.5))
+
+
+class TestApplyChurn:
+    def test_counts(self, unique_edges):
+        gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+        ins, dels = apply_churn(gt, sliding_window(unique_edges[:1200], 400, 200))
+        assert ins == 1200
+        assert dels == 800
+        assert gt.n_edges == 400

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads.io import read_edge_list
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_algorithm_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analytics", "--algorithm", "dijkstra"])
+
+
+class TestDatasets:
+    def test_lists_all_six(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("rmat_1m_10m", "hollywood_like", "kron_like"):
+            assert name in out
+
+
+class TestGenerate:
+    def test_raw_rmat_roundtrip(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        assert main(["generate", str(path), "--scale", "8",
+                     "--edges", "500", "--seed", "3"]) == 0
+        edges, _ = read_edge_list(path)
+        assert edges.shape == (500, 2)
+        assert edges.max() < 2**8
+
+    def test_dataset_prefix(self, tmp_path):
+        path = tmp_path / "ds.txt"
+        assert main(["generate", str(path), "--dataset", "rmat_1m_10m",
+                     "--edges", "300"]) == 0
+        edges, _ = read_edge_list(path)
+        assert edges.shape == (300, 2)
+
+
+class TestLoad:
+    def test_reports_all_requested_systems(self, capsys):
+        assert main(["load", "--edges", "6000", "--batches", "2",
+                     "--systems", "graphtinker", "stinger"]) == 0
+        out = capsys.readouterr().out
+        assert "graphtinker" in out and "stinger" in out
+        assert "batch1" in out
+
+
+class TestAnalytics:
+    @pytest.mark.parametrize("algorithm", ["bfs", "sssp", "cc", "pagerank"])
+    def test_every_algorithm_runs(self, capsys, algorithm):
+        assert main(["analytics", "--edges", "5000",
+                     "--algorithm", algorithm]) == 0
+        out = capsys.readouterr().out
+        assert "modeled throughput" in out
+        assert "vertices with a result" in out
+
+    def test_policies(self, capsys):
+        for policy in ("hybrid", "full", "incremental"):
+            assert main(["analytics", "--edges", "4000",
+                         "--policy", policy]) == 0
+
+    def test_stinger_backend(self, capsys):
+        assert main(["analytics", "--edges", "4000",
+                     "--system", "stinger"]) == 0
+
+
+class TestProbe:
+    def test_prints_both_structures(self, capsys):
+        assert main(["probe", "--edges", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "GraphTinker" in out and "STINGER" in out
+
+
+class TestFigures:
+    def test_exports_csv(self, tmp_path, capsys):
+        assert main(["figures", str(tmp_path), "--batches", "2"]) == 0
+        files = list(tmp_path.glob("*.csv"))
+        assert len(files) == 1
+        assert "GT+CAL" in files[0].read_text()

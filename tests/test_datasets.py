@@ -1,0 +1,83 @@
+"""Tests for the Table 1 dataset registry and scaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.datasets import (
+    DATASET_ORDER,
+    DATASETS,
+    dataset_properties,
+    load_dataset,
+    scale_factor,
+)
+
+
+class TestRegistry:
+    def test_all_six_paper_datasets_present(self):
+        assert set(DATASET_ORDER) == {
+            "rmat_1m_10m", "rmat_500k_8m", "rmat_1m_16m", "rmat_2m_32m",
+            "hollywood_like", "kron_like",
+        }
+        assert set(DATASETS) == set(DATASET_ORDER)
+
+    def test_paper_sizes_recorded(self):
+        ds = DATASETS["rmat_2m_32m"]
+        assert ds.paper_vertices == 2_097_152
+        assert ds.paper_edges == 31_770_000
+
+    def test_real_world_substitutes_flagged(self):
+        assert DATASETS["hollywood_like"].kind == "real-world (simulated)"
+        assert DATASETS["kron_like"].kind == "real-world (simulated)"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(WorkloadError):
+            load_dataset("nope")
+
+
+class TestScaling:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == 0.01
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert scale_factor() == 0.5
+
+    @pytest.mark.parametrize("bad", ["abc", "0", "-1", "2"])
+    def test_bad_env_values(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_SCALE", bad)
+        with pytest.raises(WorkloadError):
+            scale_factor()
+
+    def test_scaled_edge_budget_tracks_factor(self):
+        ds_small, edges_small = load_dataset("rmat_1m_10m", factor=0.001)
+        ds_big, edges_big = load_dataset("rmat_1m_10m", factor=0.01)
+        assert edges_big.shape[0] == pytest.approx(10 * edges_small.shape[0], rel=0.2)
+
+    def test_average_degree_roughly_preserved(self):
+        """Scaling must not flatten the datasets' relative densities."""
+        p_holly = dataset_properties("hollywood_like", factor=0.005)
+        p_rmat = dataset_properties("rmat_1m_10m", factor=0.005)
+        assert p_holly["avg_out_degree"] > 3 * p_rmat["avg_out_degree"]
+
+
+class TestGeneration:
+    def test_edges_read_only_and_cached(self):
+        _, a = load_dataset("rmat_500k_8m", factor=0.002)
+        _, b = load_dataset("rmat_500k_8m", factor=0.002)
+        assert a is b  # cache hit
+        with pytest.raises(ValueError):
+            a[0, 0] = 1
+
+    def test_edges_unique_and_loop_free(self):
+        ds, edges = load_dataset("rmat_1m_16m", factor=0.002)
+        keys = (edges[:, 0] << ds.scale) | edges[:, 1]
+        assert np.unique(keys).shape[0] == edges.shape[0]
+        assert (edges[:, 0] != edges[:, 1]).all()
+
+    def test_properties_row_fields(self):
+        row = dataset_properties("rmat_1m_10m", factor=0.002)
+        assert {"name", "type", "paper_vertices", "paper_edges",
+                "scaled_vertices", "scaled_edges", "avg_out_degree",
+                "scaled_sources"} <= set(row)

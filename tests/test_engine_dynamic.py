@@ -1,0 +1,138 @@
+"""Dynamic-graph engine tests: batch updates over evolving graphs.
+
+These exercise the paper's actual evaluation loop — interleave batch
+inserts with analytics — and verify incremental continuation equals a
+from-scratch recompute (the soundness condition the hybrid engine rests
+on), including after deletions (where state must be reset, Sec. V.B runs
+analytics in FP mode after deletion batches).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import GraphTinker, GTConfig
+from repro.engine import BFS, SSSP, ConnectedComponents, HybridEngine
+from repro.workloads import rmat_edges
+from repro.workloads.streams import EdgeStream, symmetrize
+
+
+def small_store():
+    return GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+
+
+@pytest.fixture(scope="module")
+def stream_edges():
+    edges = rmat_edges(9, 4000, seed=33)
+    return edges[edges[:, 0] != edges[:, 1]]
+
+
+class TestIncrementalContinuation:
+    @pytest.mark.parametrize("policy", ["incremental", "hybrid"])
+    def test_bfs_over_batches_equals_scratch(self, stream_edges, policy):
+        root = int(stream_edges[0, 0])
+        store = small_store()
+        engine = HybridEngine(store, BFS(), policy=policy)
+        engine.reset(roots=[root])
+        for batch in EdgeStream(stream_edges, 700).insert_batches():
+            engine.update_and_compute(batch)
+        # oracle: BFS on the final graph
+        G = nx.DiGraph()
+        G.add_edges_from(stream_edges.tolist())
+        expected = nx.single_source_shortest_path_length(G, root)
+        for v, level in expected.items():
+            assert engine.value_of(v) == level
+
+    def test_cc_over_batches_equals_scratch(self, stream_edges):
+        sym = symmetrize(stream_edges)
+        store = small_store()
+        engine = HybridEngine(store, ConnectedComponents(), policy="hybrid")
+        engine.reset()
+        for batch in EdgeStream(sym, 900).insert_batches():
+            engine.update_and_compute(batch)
+        G = nx.Graph()
+        G.add_edges_from(stream_edges.tolist())
+        for comp in nx.connected_components(G):
+            assert {engine.value_of(v) for v in comp} == {float(min(comp))}
+
+    def test_sssp_over_batches_equals_scratch(self, stream_edges):
+        rng = np.random.default_rng(6)
+        # Fixed per-edge weights: re-inserted duplicates keep the same
+        # weight, preserving monotonicity for incremental continuation.
+        uniq = {}
+        for s, d in stream_edges.tolist():
+            uniq.setdefault((s, d), float(rng.uniform(0.1, 2.0)))
+        weights = np.array([uniq[(s, d)] for s, d in stream_edges.tolist()])
+        root = int(stream_edges[0, 0])
+        store = small_store()
+        engine = HybridEngine(store, SSSP(), policy="hybrid")
+        engine.reset(roots=[root])
+        for i in range(0, stream_edges.shape[0], 800):
+            engine.store.insert_batch(stream_edges[i:i+800], weights[i:i+800])
+            engine.mark_inconsistent(stream_edges[i:i+800])
+            engine.compute()
+        G = nx.DiGraph()
+        for (s, d), w in uniq.items():
+            G.add_edge(s, d, weight=w)
+        expected = nx.single_source_dijkstra_path_length(G, root)
+        for v, dist in expected.items():
+            assert engine.value_of(v) == pytest.approx(dist)
+
+
+class TestDeletions:
+    def test_recompute_after_deletions_matches_networkx(self, stream_edges):
+        """Deletions break monotonicity; a reset + FP recompute is the
+        sound protocol (what Figs. 15-16 measure)."""
+        store = small_store()
+        store.insert_batch(stream_edges)
+        doomed = stream_edges[::3]
+        store.delete_batch(doomed)
+        root = int(stream_edges[1, 0])
+        engine = HybridEngine(store, BFS(), policy="full")
+        engine.reset(roots=[root])
+        engine.compute()
+        G = nx.DiGraph()
+        G.add_edges_from(stream_edges.tolist())
+        G.remove_edges_from(doomed.tolist())
+        if root in G:
+            expected = nx.single_source_shortest_path_length(G, root)
+            for v, level in expected.items():
+                assert engine.value_of(v) == level
+
+    def test_interleaved_inserts_and_deletes(self, stream_edges):
+        store = small_store()
+        half = stream_edges.shape[0] // 2
+        store.insert_batch(stream_edges[:half])
+        store.delete_batch(stream_edges[:half:5])
+        store.insert_batch(stream_edges[half:])
+        root = int(stream_edges[0, 0])
+        engine = HybridEngine(store, BFS(), policy="hybrid")
+        engine.reset(roots=[root])
+        engine.compute()
+        G = nx.DiGraph()
+        G.add_edges_from(stream_edges[:half].tolist())
+        G.remove_edges_from(stream_edges[:half:5].tolist())
+        G.add_edges_from(stream_edges[half:].tolist())
+        expected = nx.single_source_shortest_path_length(G, root)
+        for v, level in expected.items():
+            assert engine.value_of(v) == level
+
+
+class TestVertexGrowth:
+    def test_property_vector_grows_with_graph(self):
+        store = small_store()
+        engine = HybridEngine(store, BFS(), policy="hybrid")
+        engine.reset(roots=[0])
+        engine.update_and_compute(np.array([[0, 5]]))
+        assert engine.value_of(5) == 1.0
+        engine.update_and_compute(np.array([[5, 1000]]))
+        assert engine.value_of(1000) == 2.0
+
+    def test_cc_growth_labels_new_vertices(self):
+        store = small_store()
+        engine = HybridEngine(store, ConnectedComponents(), policy="hybrid")
+        engine.reset()
+        engine.update_and_compute(symmetrize(np.array([[0, 1]])))
+        engine.update_and_compute(symmetrize(np.array([[10, 11]])))
+        assert engine.value_of(11) == 10.0
+        assert engine.value_of(1) == 0.0

@@ -1,0 +1,162 @@
+"""Tests for the hybrid engine's mode machinery (Sec. IV.B).
+
+Covers the inference-box predictor, per-iteration mode traces, the
+T = A/E threshold rule, policy pinning, and the guarantee that hybrid
+execution computes exactly what the fixed-mode policies compute.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, GraphTinker, GTConfig
+from repro.engine import BFS, ConnectedComponents, HybridEngine, PageRank
+from repro.engine.modes import FULL, INCREMENTAL
+from repro.errors import EngineError
+from repro.workloads import rmat_edges
+from repro.workloads.streams import symmetrize
+
+
+def small_store(edges=None):
+    gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+    if edges is not None:
+        gt.insert_batch(edges)
+    return gt
+
+
+class TestInferenceBox:
+    def test_threshold_rule(self):
+        store = small_store(np.array([[i, i + 1] for i in range(100)]))
+        engine = HybridEngine(store, BFS(), EngineConfig(threshold=0.02))
+        # A/E = 1/100 = 0.01 < 0.02 -> IP
+        assert engine.predict_mode(1) == (INCREMENTAL, pytest.approx(0.01))
+        # A/E = 3/100 = 0.03 > 0.02 -> FP
+        assert engine.predict_mode(3) == (FULL, pytest.approx(0.03))
+
+    def test_empty_graph_predicts_incremental(self):
+        engine = HybridEngine(small_store(), BFS())
+        mode, t = engine.predict_mode(5)
+        assert mode == INCREMENTAL
+
+    def test_policy_pins_mode(self):
+        store = small_store(np.array([[0, 1]]))
+        for policy, expected in (("full", FULL), ("incremental", INCREMENTAL)):
+            engine = HybridEngine(store, BFS(), policy=policy)
+            assert engine.predict_mode(1)[0] == expected
+            assert engine.predict_mode(10**9)[0] == expected
+
+    def test_non_monotone_forced_full(self):
+        store = small_store(np.array([[0, 1]]))
+        engine = HybridEngine(store, PageRank(), policy="hybrid")
+        assert engine.predict_mode(0)[0] == FULL
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(EngineError):
+            HybridEngine(small_store(), BFS(), policy="nope")
+
+
+class TestModeTraces:
+    def test_iteration_records_modes(self):
+        edges = rmat_edges(8, 800, seed=4)
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        store = small_store(edges)
+        engine = HybridEngine(store, BFS(), policy="hybrid")
+        engine.reset(roots=[int(edges[0, 0])])
+        result = engine.compute()
+        assert result.n_iterations > 0
+        assert all(r.mode in (FULL, INCREMENTAL) for r in result.iterations)
+        assert result.edges_processed > 0
+
+    def test_hybrid_uses_both_modes_on_bfs_wave(self):
+        """A BFS frontier grows then shrinks: hybrid should flip modes."""
+        edges = rmat_edges(10, 8000, seed=9)
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        store = small_store(edges)
+        engine = HybridEngine(store, BFS(), policy="hybrid")
+        # root = highest-degree vertex for a wide wave
+        srcs, counts = np.unique(edges[:, 0], return_counts=True)
+        root = int(srcs[np.argmax(counts)])
+        engine.reset(roots=[root])
+        result = engine.compute()
+        modes = set(result.modes_used())
+        assert modes == {FULL, INCREMENTAL}
+
+    def test_fixed_policies_never_flip(self):
+        edges = rmat_edges(9, 2000, seed=5)
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        for policy, expected in (("full", {FULL}), ("incremental", {INCREMENTAL})):
+            store = small_store(edges)
+            engine = HybridEngine(store, BFS(), policy=policy)
+            engine.reset(roots=[int(edges[0, 0])])
+            result = engine.compute()
+            assert set(result.modes_used()) == expected
+
+    def test_stats_delta_attached_per_iteration(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        store = small_store(edges)
+        engine = HybridEngine(store, BFS(), policy="full")
+        engine.reset(roots=[0])
+        result = engine.compute()
+        for rec in result.iterations:
+            assert rec.stats_delta.seq_block_reads > 0  # CAL streaming
+
+
+class TestHybridEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_hybrid_equals_fixed_modes(self, seed):
+        edges = rmat_edges(9, 3000, seed=seed)
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        root = int(edges[0, 0])
+        results = {}
+        for policy in ("full", "incremental", "hybrid"):
+            store = small_store(edges)
+            engine = HybridEngine(store, BFS(), policy=policy)
+            engine.reset(roots=[root])
+            engine.compute()
+            results[policy] = engine.values.copy()
+        n = min(v.shape[0] for v in results.values())
+        assert (results["full"][:n] == results["incremental"][:n]).all()
+        assert (results["full"][:n] == results["hybrid"][:n]).all()
+
+    def test_hybrid_equals_fixed_modes_cc(self):
+        edges = symmetrize(rmat_edges(8, 1200, seed=12))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        results = {}
+        for policy in ("full", "incremental", "hybrid"):
+            store = small_store(edges)
+            engine = HybridEngine(store, ConnectedComponents(), policy=policy)
+            engine.reset()
+            engine.mark_inconsistent(edges)
+            engine.compute()
+            results[policy] = engine.values.copy()
+        n = min(v.shape[0] for v in results.values())
+        assert (results["full"][:n] == results["incremental"][:n]).all()
+        assert (results["full"][:n] == results["hybrid"][:n]).all()
+
+
+class TestEngineGuards:
+    def test_max_iterations_guard(self):
+        store = small_store(np.array([[0, 1], [1, 0]]))
+        engine = HybridEngine(store, BFS(), EngineConfig(max_iterations=1))
+        engine.reset(roots=[0])
+        with pytest.raises(EngineError):
+            engine.compute()
+
+    def test_value_of_beyond_horizon(self):
+        engine = HybridEngine(small_store(), BFS())
+        engine.reset()
+        assert np.isinf(engine.value_of(10**6))
+
+    def test_compute_on_empty_active_set_is_noop(self):
+        store = small_store(np.array([[0, 1]]))
+        engine = HybridEngine(store, BFS())
+        engine.reset()  # no roots
+        result = engine.compute()
+        assert result.n_iterations == 0
+
+    def test_history_accumulates(self):
+        store = small_store()
+        engine = HybridEngine(store, BFS())
+        engine.reset(roots=[0])
+        engine.update_and_compute(np.array([[0, 1]]))
+        engine.update_and_compute(np.array([[1, 2]]))
+        assert len(engine.history) == 2

@@ -1,0 +1,125 @@
+"""Tests for the FP/IP load paths (repro.engine.modes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import GraphTinker, GTConfig, StingerConfig
+from repro.engine.modes import load_edges_full, load_edges_incremental
+from repro.stinger import Stinger
+
+
+def gt_store(edges, weights=None):
+    gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+    gt.insert_batch(np.asarray(edges, dtype=np.int64), weights)
+    return gt
+
+
+class TestFullLoad:
+    def test_returns_all_live_edges_original_ids(self):
+        gt = gt_store([[100, 1], [200, 2], [100, 3]])
+        src, dst, w = load_edges_full(gt)
+        assert sorted(zip(src.tolist(), dst.tolist())) == [
+            (100, 1), (100, 3), (200, 2)]
+
+    def test_sequential_access_pattern_for_graphtinker(self):
+        gt = gt_store([[i, i + 1] for i in range(100)])
+        gt.stats.reset()
+        load_edges_full(gt)
+        assert gt.stats.seq_block_reads > 0
+        assert gt.stats.random_block_reads == 0
+
+    def test_random_access_pattern_for_stinger(self):
+        st_ = Stinger(StingerConfig(edgeblock_size=4))
+        st_.insert_batch(np.array([[i, i + 1] for i in range(100)]))
+        st_.stats.reset()
+        load_edges_full(st_)
+        assert st_.stats.random_block_reads > 0
+        assert st_.stats.seq_block_reads == 0
+
+    def test_cell_inspection_charged_per_slot(self):
+        gt = gt_store([[0, 1]])
+        gt.stats.reset()
+        load_edges_full(gt)
+        # one CAL block holding one edge still inspects the whole block
+        assert gt.stats.cells_scanned == gt.config.cal_block_size
+
+
+class TestIncrementalLoad:
+    def test_loads_only_active_vertices(self):
+        gt = gt_store([[0, 1], [0, 2], [5, 7], [9, 1]])
+        src, dst, _ = load_edges_incremental(gt, np.array([0, 9]))
+        assert sorted(zip(src.tolist(), dst.tolist())) == [(0, 1), (0, 2), (9, 1)]
+
+    def test_unknown_and_sink_vertices_skipped(self):
+        gt = gt_store([[0, 1]])
+        src, dst, _ = load_edges_incremental(gt, np.array([1, 12345]))
+        assert src.size == 0
+
+    def test_empty_active_set(self):
+        gt = gt_store([[0, 1]])
+        src, dst, w = load_edges_incremental(gt, np.empty(0, dtype=np.int64))
+        assert src.size == dst.size == w.size == 0
+
+    def test_random_access_pattern(self):
+        gt = gt_store([[i % 7, i] for i in range(200)])
+        gt.stats.reset()
+        load_edges_incremental(gt, np.arange(7))
+        assert gt.stats.random_block_reads > 0
+        assert gt.stats.seq_block_reads == 0
+
+    def test_weights_travel_with_edges(self):
+        gt = gt_store([[0, 1], [0, 2]], np.array([3.5, 4.5]))
+        src, dst, w = load_edges_incremental(gt, np.array([0]))
+        assert dict(zip(dst.tolist(), w.tolist())) == {1: 3.5, 2: 4.5}
+
+
+class TestVertexCentricLoad:
+    def test_same_edge_set_as_edge_centric(self, rng):
+        from repro.engine.modes import load_edges_full_vertex_centric
+
+        edges = np.column_stack([rng.integers(0, 40, 600), rng.integers(0, 99, 600)])
+        gt = gt_store(edges)
+        ec = load_edges_full(gt)
+        vc = load_edges_full_vertex_centric(gt)
+        assert (sorted(zip(ec[0].tolist(), ec[1].tolist()))
+                == sorted(zip(vc[0].tolist(), vc[1].tolist())))
+
+    def test_vc_pays_random_reads(self):
+        from repro.engine.modes import load_edges_full_vertex_centric
+
+        gt = gt_store([[i % 9, i] for i in range(300)])
+        gt.stats.reset()
+        load_edges_full_vertex_centric(gt)
+        assert gt.stats.random_block_reads > 0
+        assert gt.stats.seq_block_reads == 0
+
+    def test_stinger_vc_coincides_with_full(self):
+        from repro.engine.modes import load_edges_full_vertex_centric
+
+        st_ = Stinger(StingerConfig(edgeblock_size=4))
+        st_.insert_batch(np.array([[0, 1], [2, 3]]))
+        src, dst, _ = load_edges_full_vertex_centric(st_)
+        assert sorted(zip(src.tolist(), dst.tolist())) == [(0, 1), (2, 3)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 40)),
+        min_size=1, max_size=150,
+    ),
+    active=st.lists(st.integers(0, 25), max_size=10),
+)
+def test_ip_is_restriction_of_fp(edges, active):
+    """Property: the IP load equals the FP load filtered to active sources."""
+    gt = gt_store(edges)
+    active_arr = np.asarray(sorted(set(active)), dtype=np.int64)
+    fs, fd, fw = load_edges_full(gt)
+    is_, id_, iw = load_edges_incremental(gt, active_arr)
+    want = sorted(
+        (s, d, w) for s, d, w in zip(fs.tolist(), fd.tolist(), fw.tolist())
+        if s in set(active_arr.tolist())
+    )
+    got = sorted(zip(is_.tolist(), id_.tolist(), iw.tolist()))
+    assert got == want

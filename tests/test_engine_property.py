@@ -1,0 +1,102 @@
+"""Hypothesis property tests on the engine's mode-equivalence guarantee.
+
+The hybrid engine's soundness rests on every iteration computing the same
+apply result under either load path.  These properties drive randomly
+generated graphs, roots, and batch splits through all three policies and
+require bit-identical property vectors — on both stores.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import GraphTinker, GTConfig, StingerConfig
+from repro.engine import BFS, ConnectedComponents, HybridEngine, SSSP
+from repro.stinger import Stinger
+from repro.workloads.streams import symmetrize
+
+EDGES = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)),
+    min_size=1, max_size=200,
+).map(lambda pairs: np.asarray([(s, d) for s, d in pairs if s != d] or [(0, 1)],
+                               dtype=np.int64))
+
+
+def run(store_cls, program, edges, policy, roots, weights=None):
+    if store_cls is GraphTinker:
+        store = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+    else:
+        store = Stinger(StingerConfig(edgeblock_size=4))
+    store.insert_batch(edges, weights)
+    engine = HybridEngine(store, program, policy=policy)
+    if roots is None:
+        engine.reset()
+        engine.mark_inconsistent(edges)
+    else:
+        engine.reset(roots=roots)
+    engine.compute()
+    return engine.values
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges=EDGES, root_pick=st.integers(0, 10**6))
+def test_bfs_mode_equivalence(edges, root_pick):
+    root = int(edges[root_pick % edges.shape[0], 0])
+    results = [run(GraphTinker, BFS(), edges, policy, [root])
+               for policy in ("full", "incremental", "hybrid")]
+    n = min(r.shape[0] for r in results)
+    for other in results[1:]:
+        assert (results[0][:n] == other[:n]).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(edges=EDGES, root_pick=st.integers(0, 10**6), seed=st.integers(0, 100))
+def test_sssp_mode_equivalence_with_weights(edges, root_pick, seed):
+    weights = np.random.default_rng(seed).uniform(0.1, 5.0, edges.shape[0])
+    # de-duplicate (last-wins) so every policy sees identical weights
+    root = int(edges[root_pick % edges.shape[0], 0])
+    results = [run(GraphTinker, SSSP(), edges, policy, [root], weights)
+               for policy in ("full", "incremental", "hybrid")]
+    n = min(r.shape[0] for r in results)
+    for other in results[1:]:
+        assert np.array_equal(results[0][:n], other[:n])
+
+
+@settings(max_examples=20, deadline=None)
+@given(edges=EDGES)
+def test_cc_mode_equivalence(edges):
+    sym = symmetrize(edges)
+    results = [run(GraphTinker, ConnectedComponents(), sym, policy, None)
+               for policy in ("full", "incremental", "hybrid")]
+    n = min(r.shape[0] for r in results)
+    for other in results[1:]:
+        assert (results[0][:n] == other[:n]).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(edges=EDGES, root_pick=st.integers(0, 10**6))
+def test_stores_agree_on_bfs(edges, root_pick):
+    """GraphTinker and STINGER must produce identical analytics."""
+    root = int(edges[root_pick % edges.shape[0], 0])
+    gt_values = run(GraphTinker, BFS(), edges, "hybrid", [root])
+    st_values = run(Stinger, BFS(), edges, "hybrid", [root])
+    n = min(gt_values.shape[0], st_values.shape[0])
+    assert (gt_values[:n] == st_values[:n]).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(edges=EDGES, root_pick=st.integers(0, 10**6),
+       n_splits=st.integers(1, 5))
+def test_batch_split_invariance(edges, root_pick, n_splits):
+    """Incremental continuation over any batch split equals one-shot."""
+    root = int(edges[root_pick % edges.shape[0], 0])
+    oneshot = run(GraphTinker, BFS(), edges, "full", [root])
+
+    store = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+    engine = HybridEngine(store, BFS(), policy="hybrid")
+    engine.reset(roots=[root])
+    size = max(1, edges.shape[0] // n_splits)
+    for i in range(0, edges.shape[0], size):
+        engine.update_and_compute(edges[i : i + size])
+    n = min(oneshot.shape[0], engine.values.shape[0])
+    assert (oneshot[:n] == engine.values[:n]).all()

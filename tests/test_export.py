@@ -1,0 +1,52 @@
+"""Tests for figure-data CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.bench.export import FigureData, export_insertion_figure
+
+
+class TestFigureData:
+    def test_csv_roundtrip(self):
+        fig = FigureData("demo", "x", "y")
+        fig.set_x([0, 1, 2])
+        fig.add_series("a", [1.0, 2.0, 3.0])
+        fig.add_series("b", [4.0, 5.0, 6.0])
+        rows = list(csv.reader(io.StringIO(fig.to_csv_text())))
+        assert rows[0] == ["x", "a", "b"]
+        assert rows[1] == ["0", "1.0", "4.0"]
+        assert rows[3] == ["2", "3.0", "6.0"]
+
+    def test_length_mismatch_rejected(self):
+        fig = FigureData("demo", "x", "y")
+        fig.set_x([0, 1])
+        with pytest.raises(ValueError):
+            fig.add_series("a", [1.0])
+
+    def test_duplicate_series_rejected(self):
+        fig = FigureData("demo", "x", "y")
+        fig.set_x([0])
+        fig.add_series("a", [1.0])
+        with pytest.raises(ValueError):
+            fig.add_series("a", [2.0])
+
+    def test_write_creates_file(self, tmp_path):
+        fig = FigureData("myfig", "x", "y")
+        fig.set_x([1])
+        fig.add_series("s", [9.0])
+        path = fig.write(tmp_path / "sub")
+        assert path.name == "myfig.csv"
+        assert "s" in path.read_text()
+
+
+class TestExportInsertionFigure:
+    def test_end_to_end(self, tmp_path):
+        path = export_insertion_figure(tmp_path, n_batches=3)
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["batch", "GT+CAL", "GT-noCAL", "STINGER"]
+        assert len(rows) == 4  # header + 3 batches
+        # the exported series carry the Fig. 8 ordering
+        last = rows[-1]
+        assert float(last[2]) > float(last[3])  # GT-noCAL > STINGER

@@ -1,0 +1,83 @@
+"""Unit + property tests for the hash-mixer family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hashing import (
+    initial_bucket,
+    mix64,
+    mix64_array,
+    partition_of,
+    partition_of_array,
+    subblock_index,
+)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+        assert mix64(12345, seed=1) == mix64(12345, seed=1)
+
+    def test_seed_changes_output(self):
+        assert mix64(12345, seed=0) != mix64(12345, seed=1)
+
+    @given(st.integers(min_value=0, max_value=2**62), st.integers(min_value=0, max_value=2**32))
+    def test_range(self, value, seed):
+        h = mix64(value, seed)
+        assert 0 <= h < 2**64
+
+    def test_avalanche_neighbouring_inputs(self):
+        # Adjacent inputs should land far apart: no long identical prefix
+        # runs in a small modulus.
+        mods = [mix64(v) % 64 for v in range(1000)]
+        counts = np.bincount(mods, minlength=64)
+        # roughly uniform: no bucket more than 3x the expected share
+        assert counts.max() < 3 * (1000 / 64)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**61), min_size=1, max_size=200),
+           st.integers(min_value=0, max_value=2**31))
+    def test_vectorised_matches_scalar(self, values, seed):
+        arr = np.asarray(values, dtype=np.int64)
+        vec = mix64_array(arr, seed)
+        for v, got in zip(values, vec.tolist()):
+            assert got == mix64(v, seed)
+
+
+class TestDerivedHashes:
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=0, max_value=40))
+    def test_subblock_index_in_range(self, dst, gen):
+        idx = subblock_index(dst, gen, 8, seed=0x9E3779B9)
+        assert 0 <= idx < 8
+
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=0, max_value=40))
+    def test_initial_bucket_in_range(self, dst, gen):
+        b = initial_bucket(dst, gen, 8, seed=0x9E3779B9)
+        assert 0 <= b < 8
+
+    def test_generations_decorrelate(self):
+        """Tree-Based Hashing relies on re-randomised Subblock choices
+        across generations: a cohort congesting one parent Subblock must
+        spread across the child's Subblocks."""
+        n_sb = 8
+        cohort = [d for d in range(5000) if subblock_index(d, 0, n_sb, 7) == 3][:256]
+        child_sbs = {subblock_index(d, 1, n_sb, 7) for d in cohort}
+        assert len(child_sbs) == n_sb  # full fan-out
+
+    def test_partition_stability(self):
+        assert partition_of(42, 4) == partition_of(42, 4)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=300),
+           st.integers(min_value=1, max_value=16))
+    def test_partition_array_matches_scalar(self, srcs, nparts):
+        arr = np.asarray(srcs, dtype=np.int64)
+        parts = partition_of_array(arr, nparts)
+        assert ((parts >= 0) & (parts < nparts)).all()
+        for s, p in zip(srcs, parts.tolist()):
+            assert p == partition_of(s, nparts)
+
+    def test_partition_balance(self):
+        parts = partition_of_array(np.arange(10000), 8)
+        counts = np.bincount(parts, minlength=8)
+        assert counts.min() > 10000 / 8 * 0.8
+        assert counts.max() < 10000 / 8 * 1.2

@@ -1,0 +1,52 @@
+"""Tests for the Set-Inconsistency-Vertices unit (paper Sec. IV.C)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.algorithms import BFS, SSSP, ConnectedComponents
+from repro.engine.inconsistency import inconsistent_vertices
+
+
+class TestDirectedPrograms:
+    """Paper: 'in the BFS algorithm, the vertices affected by the update
+    batch comprise the source vertices of the edges in the update batch'."""
+
+    @pytest.mark.parametrize("program_cls", [BFS, SSSP])
+    def test_sources_only(self, program_cls):
+        batch = np.array([[3, 4], [5, 6], [3, 9]])
+        out = inconsistent_vertices(program_cls(), batch)
+        assert out.tolist() == [3, 5]
+
+    def test_deduplicated_and_sorted(self):
+        batch = np.array([[9, 1], [2, 1], [9, 2], [2, 3]])
+        out = inconsistent_vertices(BFS(), batch)
+        assert out.tolist() == [2, 9]
+
+
+class TestUndirectedPrograms:
+    """Paper: for weakly-connected components the inconsistency vertices
+    'comprise both the source and destination vertices'."""
+
+    def test_both_endpoints(self):
+        batch = np.array([[3, 4], [5, 6]])
+        out = inconsistent_vertices(ConnectedComponents(), batch)
+        assert out.tolist() == [3, 4, 5, 6]
+
+    def test_shared_endpoints_deduplicated(self):
+        batch = np.array([[1, 2], [2, 3], [3, 1]])
+        out = inconsistent_vertices(ConnectedComponents(), batch)
+        assert out.tolist() == [1, 2, 3]
+
+
+class TestShapes:
+    def test_empty_batch(self):
+        out = inconsistent_vertices(BFS(), np.empty((0, 2), dtype=np.int64))
+        assert out.size == 0
+
+    def test_flat_batch_reshaped(self):
+        out = inconsistent_vertices(BFS(), np.array([7, 8]))
+        assert out.tolist() == [7]
+
+    def test_single_edge(self):
+        out = inconsistent_vertices(ConnectedComponents(), np.array([[4, 4]]))
+        assert out.tolist() == [4]

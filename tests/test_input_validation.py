@@ -1,0 +1,67 @@
+"""Failure-injection / input-validation tests across the public surface.
+
+Negative vertex ids collide with the -1/-2 cell-state sentinels, so the
+stores must reject them before any structure is touched; these tests also
+verify that a rejected operation mid-batch leaves the structures fully
+consistent (operations are per-edge atomic).
+"""
+
+import numpy as np
+import pytest
+
+from repro import GraphTinker, GTConfig, StingerConfig
+from repro.stinger import Stinger
+
+
+@pytest.fixture(params=["gt", "stinger"])
+def store(request, small_config, stinger_config):
+    if request.param == "gt":
+        return GraphTinker(small_config)
+    return Stinger(stinger_config)
+
+
+class TestNegativeIds:
+    @pytest.mark.parametrize("src,dst", [(-1, 0), (0, -1), (-2, -2), (-5, 3)])
+    def test_insert_rejected(self, store, src, dst):
+        with pytest.raises(ValueError):
+            store.insert_edge(src, dst)
+        assert store.n_edges == 0
+
+    def test_batch_rejected_atomically_before_any_write(self, store):
+        bad = np.array([[0, 1], [2, -3], [4, 5]])
+        with pytest.raises(ValueError):
+            store.insert_batch(bad)
+        # validation happens up front: nothing was inserted
+        assert store.n_edges == 0
+
+    def test_sentinel_collision_would_be_silent_without_guard(self, small_config):
+        """Documents why the guard exists: dst == -1 is the EMPTY marker."""
+        from repro.core.pool import EMPTY
+
+        assert int(EMPTY) == -1
+
+
+class TestStateAfterRejection:
+    def test_store_usable_after_rejected_insert(self, store):
+        with pytest.raises(ValueError):
+            store.insert_edge(-1, 2)
+        assert store.insert_edge(1, 2)
+        assert store.has_edge(1, 2)
+        store.check_invariants()
+
+    def test_partial_batch_failure_leaves_prior_edges_intact(self, store):
+        store.insert_batch(np.array([[0, 1], [2, 3]]))
+        with pytest.raises(ValueError):
+            store.insert_batch(np.array([[4, 5], [-1, 6]]))
+        assert store.has_edge(0, 1) and store.has_edge(2, 3)
+        store.check_invariants()
+
+
+class TestShapeValidation:
+    @pytest.mark.parametrize("shape", [(3,), (3, 3), (0, 1)])
+    def test_bad_batch_shapes(self, store, shape):
+        with pytest.raises(ValueError):
+            store.insert_batch(np.zeros(shape, dtype=np.int64))
+
+    def test_empty_batch_is_fine(self, store):
+        assert store.insert_batch(np.empty((0, 2), dtype=np.int64)) == 0

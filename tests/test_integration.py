@@ -1,0 +1,112 @@
+"""Cross-implementation and end-to-end integration tests.
+
+GraphTinker and STINGER must expose identical graph contents after
+identical update streams (DESIGN.md §5), and the full paper protocol —
+batched load + analytics after every batch, on every store and policy —
+must run end-to-end on a real (scaled) dataset.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GraphTinker, GTConfig, StingerConfig
+from repro.engine import BFS, ConnectedComponents, HybridEngine, SSSP
+from repro.stinger import Stinger
+from repro.workloads import load_dataset
+from repro.workloads.streams import EdgeStream, highest_degree_roots, symmetrize
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    _, edges = load_dataset("rmat_1m_10m", factor=0.0005)
+    return edges
+
+
+class TestCrossImplementation:
+    def test_identical_contents_after_identical_streams(self, dataset, rng):
+        gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+        st = Stinger(StingerConfig(edgeblock_size=4))
+        weights = rng.random(dataset.shape[0])
+        gt.insert_batch(dataset, weights)
+        st.insert_batch(dataset, weights)
+        assert gt.n_edges == st.n_edges
+        # delete a third through both, same order
+        doomed = dataset[::3]
+        assert gt.delete_batch(doomed) == st.delete_batch(doomed)
+        gt_edges = sorted(gt.edges())
+        st_edges = sorted(st.edges())
+        assert gt_edges == st_edges
+
+    def test_identical_analytics_results(self, dataset):
+        results = {}
+        for name, store in (
+            ("gt", GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))),
+            ("stinger", Stinger(StingerConfig(edgeblock_size=4))),
+        ):
+            store.insert_batch(dataset)
+            engine = HybridEngine(store, BFS(), policy="hybrid")
+            root = int(highest_degree_roots(dataset, 1)[0])
+            engine.reset(roots=[root])
+            engine.compute()
+            results[name] = engine.values
+        n = min(v.shape[0] for v in results.values())
+        assert (results["gt"][:n] == results["stinger"][:n]).all()
+
+
+class TestPaperProtocolEndToEnd:
+    """The Sec. V.B loop on a scaled Table 1 dataset."""
+
+    def test_batched_load_with_analytics(self, dataset):
+        store = GraphTinker(GTConfig())
+        stream = EdgeStream(dataset, max(1, dataset.shape[0] // 4))
+        root = int(highest_degree_roots(dataset, 1)[0])
+        engine = HybridEngine(store, BFS(), policy="hybrid")
+        engine.reset(roots=[root])
+        total_processed = 0
+        for batch in stream.insert_batches():
+            result = engine.update_and_compute(batch)
+            total_processed += result.edges_processed
+        assert store.n_edges == dataset.shape[0]
+        assert total_processed > 0
+        store.check_invariants()
+
+    def test_full_delete_cycle_with_analytics(self, dataset):
+        for compact in (False, True):
+            store = GraphTinker(
+                GTConfig(pagewidth=16, subblock=4, workblock=2,
+                         compact_on_delete=compact)
+            )
+            store.insert_batch(dataset)
+            stream = EdgeStream(dataset, max(1, dataset.shape[0] // 3))
+            root = int(highest_degree_roots(dataset, 1)[0])
+            for batch in stream.delete_batches(seed=1):
+                store.delete_batch(batch)
+                engine = HybridEngine(store, BFS(), policy="full")
+                engine.reset(roots=[root])
+                engine.compute()
+            assert store.n_edges == 0
+            store.check_invariants()
+
+    @pytest.mark.parametrize("program_cls", [BFS, SSSP, ConnectedComponents])
+    def test_all_benchmark_algorithms_run(self, dataset, program_cls):
+        edges = symmetrize(dataset) if program_cls is ConnectedComponents else dataset
+        store = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+        store.insert_batch(edges)
+        engine = HybridEngine(store, program_cls(), policy="hybrid")
+        if program_cls is ConnectedComponents:
+            engine.reset()
+            engine.mark_inconsistent(edges)
+        else:
+            engine.reset(roots=[int(edges[0, 0])])
+        result = engine.compute()
+        assert result.edges_processed > 0
+
+
+class TestScaleStress:
+    def test_paper_geometry_hollywood_prefix(self):
+        """A denser (hollywood-like) slice at the paper's geometry."""
+        _, edges = load_dataset("hollywood_like", factor=0.001)
+        store = GraphTinker(GTConfig())
+        store.insert_batch(edges)
+        assert store.n_edges == edges.shape[0] == store.cal.n_edges
+        store.check_invariants()

@@ -1,0 +1,113 @@
+"""Tests for edge-list and MatrixMarket I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.io import read_edge_list, read_mtx, write_edge_list, write_mtx
+
+
+class TestEdgeList:
+    def test_roundtrip_unweighted(self, tmp_path):
+        path = tmp_path / "e.txt"
+        edges = np.array([[0, 1], [2, 3]])
+        write_edge_list(path, edges)
+        got, w = read_edge_list(path)
+        assert (got == edges).all()
+        assert w is None
+
+    def test_roundtrip_weighted(self, tmp_path):
+        path = tmp_path / "e.txt"
+        edges = np.array([[0, 1], [2, 3]])
+        weights = np.array([1.5, 2.25])
+        write_edge_list(path, edges, weights)
+        got, w = read_edge_list(path)
+        assert (got == edges).all()
+        assert np.allclose(w, weights)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("# header\n\n% other comment\n1 2\n3 4\n")
+        got, w = read_edge_list(path)
+        assert got.tolist() == [[1, 2], [3, 4]]
+
+    def test_malformed_field_count(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("1 2 3 4\n")
+        with pytest.raises(WorkloadError):
+            read_edge_list(path)
+
+    def test_inconsistent_weights(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("1 2\n1 2 3.0\n")
+        with pytest.raises(WorkloadError):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("")
+        got, w = read_edge_list(path)
+        assert got.shape == (0, 2)
+
+
+class TestMtx:
+    def test_roundtrip_general(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        edges = np.array([[0, 1], [2, 0]])
+        write_mtx(path, edges, n_vertices=3)
+        got = read_mtx(path)
+        assert sorted(map(tuple, got.tolist())) == [(0, 1), (2, 0)]
+
+    def test_symmetric_expansion(self, tmp_path):
+        """UF-collection symmetric matrices expand to both directions."""
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n"
+            "2 1\n"
+            "3 3\n"
+        )
+        got = read_mtx(path)
+        assert sorted(map(tuple, got.tolist())) == [(0, 1), (1, 0), (2, 2)]
+
+    def test_values_ignored(self, tmp_path):
+        path = tmp_path / "v.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 2 3.14\n"
+        )
+        assert read_mtx(path).tolist() == [[0, 1]]
+
+    def test_missing_banner(self, tmp_path):
+        path = tmp_path / "b.mtx"
+        path.write_text("1 1 0\n")
+        with pytest.raises(WorkloadError):
+            read_mtx(path)
+
+    def test_missing_size_line(self, tmp_path):
+        path = tmp_path / "b.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n% only comments\n")
+        with pytest.raises(WorkloadError):
+            read_mtx(path)
+
+    def test_comments_inside_body(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% comment\n"
+            "2 2 1\n"
+            "% another\n"
+            "1 2\n"
+        )
+        assert read_mtx(path).tolist() == [[0, 1]]
+
+    def test_feeds_graphtinker(self, tmp_path):
+        """End-to-end: an .mtx file loads into the data structure."""
+        from repro import GraphTinker, GTConfig
+
+        path = tmp_path / "g.mtx"
+        write_mtx(path, np.array([[0, 1], [1, 2], [2, 0]]))
+        gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+        gt.insert_batch(read_mtx(path))
+        assert gt.n_edges == 3

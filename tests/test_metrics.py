@@ -1,0 +1,80 @@
+"""Tests for derived benchmark metrics."""
+
+import numpy as np
+import pytest
+
+from repro.bench.costmodel import CostModel
+from repro.bench.metrics import (
+    BatchMeasurement,
+    load_stability,
+    run_batched,
+    speedup,
+    throughput,
+)
+from repro.core.stats import AccessStats
+
+
+class TestThroughput:
+    def test_basic(self):
+        assert throughput(100, 2.0) == 50.0
+
+    def test_zero_time(self):
+        assert throughput(100, 0.0) == float("inf")
+
+
+class TestLoadStability:
+    def test_paper_definition_fifth_batch_to_last(self):
+        """Fig. 8 numbers: 1.6 -> 1.0 gives ~34% degradation (paper: 34%)."""
+        series = [2.0, 1.9, 1.8, 1.7, 1.6, 1.4, 1.2, 1.0]
+        assert load_stability(series) == pytest.approx((1.6 - 1.0) / 1.6)
+
+    def test_stinger_like_series(self):
+        series = [2.0, 1.8, 1.6, 1.5, 1.3, 1.0, 0.7, 0.4]
+        assert load_stability(series) == pytest.approx((1.3 - 0.4) / 1.3)
+
+    def test_short_series_clamps_reference(self):
+        assert load_stability([2.0, 1.0]) == pytest.approx(0.5)
+
+    def test_improving_series_clamped_to_zero(self):
+        assert load_stability([1.0, 1.0, 1.0, 1.0, 1.0, 2.0]) == 0.0
+
+    def test_empty(self):
+        assert load_stability([]) == 0.0
+
+
+class TestRunBatched:
+    def test_measures_each_batch(self):
+        stats = AccessStats()
+
+        def apply(batch):
+            stats.random_block_reads += len(batch)
+
+        batches = [np.zeros((5, 2)), np.zeros((3, 2))]
+        out = run_batched(batches, apply, stats)
+        assert [m.n_edges for m in out] == [5, 3]
+        assert [m.stats_delta.random_block_reads for m in out] == [5, 3]
+        assert all(m.wall_seconds >= 0 for m in out)
+
+    def test_modeled_throughput_uses_delta(self):
+        m = BatchMeasurement(0, 10, 0.1, AccessStats())
+        m.stats_delta.random_block_reads = 5
+        assert m.modeled_throughput(CostModel(random_block=1.0)) == pytest.approx(2.0)
+
+    def test_wall_throughput(self):
+        m = BatchMeasurement(0, 10, 0.5, AccessStats())
+        assert m.wall_throughput == pytest.approx(20.0)
+
+
+class TestSpeedup:
+    def test_max_and_mean(self):
+        mx, mean = speedup([2.0, 4.0], [1.0, 1.0])
+        assert mx == 4.0
+        assert mean == 3.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            speedup([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            speedup([], [])

@@ -1,0 +1,118 @@
+"""Tests for path reconstruction from converged property vectors."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import GraphTinker, GTConfig
+from repro.engine import BFS, SSSP, HybridEngine
+from repro.engine.paths import path_cost, predecessor_map, reconstruct_path
+from repro.errors import EngineError
+from repro.workloads import rmat_edges
+
+
+def solved(program, edges, weights, root):
+    store = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+    store.insert_batch(edges, weights)
+    engine = HybridEngine(store, program, policy="hybrid")
+    engine.reset(roots=[root])
+    engine.compute()
+    return store, engine
+
+
+@pytest.fixture(scope="module")
+def graph():
+    edges = rmat_edges(9, 2000, seed=5)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    weights = np.random.default_rng(9).uniform(0.5, 3.0, edges.shape[0])
+    return edges, weights
+
+
+class TestPredecessorMap:
+    def test_witness_condition(self):
+        # 0 ->(1) 1 ->(1) 2, plus a worse direct 0 ->(5) 2
+        edges = np.array([[0, 1], [1, 2], [0, 2]])
+        weights = np.array([1.0, 1.0, 5.0])
+        values = np.array([0.0, 1.0, 2.0])
+        parents = predecessor_map(edges[:, 0], edges[:, 1], weights, values)
+        assert parents == {1: 0, 2: 1}  # the direct edge is not a witness
+
+    def test_unit_cost_mode(self):
+        edges = np.array([[0, 1], [1, 2]])
+        weights = np.array([9.0, 9.0])  # ignored under unit cost
+        values = np.array([0.0, 1.0, 2.0])
+        parents = predecessor_map(edges[:, 0], edges[:, 1], weights, values,
+                                  unit_cost=True)
+        assert parents == {1: 0, 2: 1}
+
+    def test_empty_edges(self):
+        e = np.empty(0, dtype=np.int64)
+        assert predecessor_map(e, e, e.astype(float), np.zeros(3)) == {}
+
+
+class TestReconstruction:
+    def test_bfs_path_is_shortest_by_hops(self, graph):
+        edges, _ = graph
+        root = int(edges[0, 0])
+        store, engine = solved(BFS(), edges, None, root)
+        G = nx.DiGraph()
+        G.add_edges_from(edges.tolist())
+        levels = nx.single_source_shortest_path_length(G, root)
+        # check a spread of reachable targets
+        targets = sorted(levels, key=levels.get)[-10:]
+        for target in targets:
+            path = reconstruct_path(store, engine.values, root, target,
+                                    unit_cost=True)
+            assert path[0] == root and path[-1] == target
+            assert len(path) - 1 == levels[target]
+            for u, v in zip(path, path[1:]):
+                assert store.has_edge(u, v)
+
+    def test_sssp_path_cost_matches_distance(self, graph):
+        edges, weights = graph
+        # de-dup weights so distances are well-defined (last weight wins)
+        root = int(edges[0, 0])
+        store, engine = solved(SSSP(), edges, weights, root)
+        reached = np.flatnonzero(np.isfinite(engine.values))
+        rng = np.random.default_rng(0)
+        for target in rng.choice(reached, size=min(10, reached.size), replace=False).tolist():
+            path = reconstruct_path(store, engine.values, root, int(target))
+            assert path[0] == root and path[-1] == target
+            assert path_cost(store, path) == pytest.approx(engine.value_of(int(target)))
+
+    def test_root_path(self, graph):
+        edges, _ = graph
+        root = int(edges[0, 0])
+        store, engine = solved(BFS(), edges, None, root)
+        assert reconstruct_path(store, engine.values, root, root) == [root]
+
+    def test_unreached_target_raises(self, graph):
+        edges, _ = graph
+        root = int(edges[0, 0])
+        store, engine = solved(BFS(), edges, None, root)
+        unreached = [v for v in range(engine.values.shape[0])
+                     if not np.isfinite(engine.value_of(v))]
+        if unreached:
+            with pytest.raises(EngineError):
+                reconstruct_path(store, engine.values, root, unreached[0])
+
+    def test_stale_values_detected(self, graph):
+        edges, _ = graph
+        root = int(edges[0, 0])
+        store, engine = solved(BFS(), edges, None, root)
+        # find a target whose witness edges can all be severed
+        values = engine.values.copy()
+        target = int(np.flatnonzero(np.isfinite(values) & (values >= 2))[0])
+        # delete every in-edge of the target, making values stale
+        doomed = edges[edges[:, 1] == target]
+        store.delete_batch(doomed)
+        with pytest.raises(EngineError):
+            reconstruct_path(store, values, root, target, unit_cost=True)
+
+
+class TestPathCost:
+    def test_missing_edge_rejected(self, graph):
+        edges, _ = graph
+        store, _ = solved(BFS(), edges, None, int(edges[0, 0]))
+        with pytest.raises(EngineError):
+            path_cost(store, [999998, 999999])

@@ -1,0 +1,75 @@
+"""Tests for snapshot save/restore."""
+
+import numpy as np
+import pytest
+
+from repro import GraphTinker, GTConfig, StingerConfig
+from repro.errors import WorkloadError
+from repro.stinger import Stinger
+from repro.workloads import rmat_edges
+from repro.workloads.persistence import (
+    load_snapshot,
+    restore_graphtinker,
+    save_snapshot,
+)
+
+
+@pytest.fixture
+def populated(rng):
+    gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+    edges = rmat_edges(9, 3000, seed=4)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    gt.insert_batch(edges, rng.uniform(0.5, 2.0, edges.shape[0]))
+    gt.delete_batch(edges[::5])
+    return gt
+
+
+class TestRoundtrip:
+    def test_restore_preserves_graph(self, populated, tmp_path):
+        path = tmp_path / "snap.npz"
+        n = save_snapshot(populated, path)
+        assert n == populated.n_edges
+        restored = restore_graphtinker(path)
+        assert restored.n_edges == populated.n_edges
+        assert sorted(restored.edges()) == sorted(populated.edges())
+        restored.check_invariants()
+
+    def test_restore_into_different_config(self, populated, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_snapshot(populated, path)
+        restored = restore_graphtinker(
+            path, GTConfig(pagewidth=32, compact_on_delete=True)
+        )
+        assert sorted(restored.edges()) == sorted(populated.edges())
+        restored.check_invariants()
+
+    def test_stinger_snapshot_into_graphtinker(self, tmp_path, rng):
+        st = Stinger(StingerConfig(edgeblock_size=4))
+        edges = np.column_stack([rng.integers(0, 30, 500), rng.integers(0, 90, 500)])
+        st.insert_batch(edges)
+        path = tmp_path / "snap.npz"
+        save_snapshot(st, path)
+        gt = restore_graphtinker(path)
+        assert sorted(gt.edges()) == sorted(st.edges())
+
+    def test_empty_store(self, tmp_path):
+        gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+        path = tmp_path / "snap.npz"
+        assert save_snapshot(gt, path) == 0
+        restored = restore_graphtinker(path)
+        assert restored.n_edges == 0
+
+
+class TestValidation:
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, a=np.arange(3))
+        with pytest.raises(WorkloadError):
+            load_snapshot(path)
+
+    def test_load_returns_edges_and_weights(self, populated, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_snapshot(populated, path)
+        edges, weights = load_snapshot(path)
+        assert edges.shape[0] == weights.shape[0] == populated.n_edges
+        assert edges.shape[1] == 2

@@ -1,0 +1,152 @@
+"""Unit + property tests for the BlockPool growable structured pool."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pool import (
+    EMPTY,
+    EDGE_CELL_DTYPE,
+    BlockPool,
+    blank_edge_cells,
+)
+
+
+def make_pool(width=8, initial=2):
+    return BlockPool(width, EDGE_CELL_DTYPE, blank_edge_cells, initial)
+
+
+class TestBlankCells:
+    def test_blank_state(self):
+        arr = blank_edge_cells((3, 4))
+        assert (arr["dst"] == EMPTY).all()
+        assert (arr["cal_block"] == -1).all()
+        assert (arr["cal_slot"] == -1).all()
+        assert (arr["weight"] == 0).all()
+        assert (arr["probe"] == 0).all()
+
+
+class TestAllocation:
+    def test_sequential_indices(self):
+        pool = make_pool()
+        assert [pool.allocate() for _ in range(5)] == [0, 1, 2, 3, 4]
+        assert pool.n_used == 5
+
+    def test_growth_doubles(self):
+        pool = make_pool(initial=2)
+        for _ in range(9):
+            pool.allocate()
+        assert pool.capacity >= 9
+        assert pool.n_used == 9
+
+    def test_growth_preserves_contents(self):
+        pool = make_pool(initial=2)
+        a = pool.allocate()
+        pool.row(a)["dst"][3] = 77
+        for _ in range(20):
+            pool.allocate()
+        assert pool.row(a)["dst"][3] == 77
+
+    def test_free_and_reuse_is_blank(self):
+        pool = make_pool()
+        a = pool.allocate()
+        pool.row(a)["dst"][:] = 9
+        pool.free(a)
+        b = pool.allocate()
+        assert b == a  # LIFO reuse
+        assert (pool.row(b)["dst"] == EMPTY).all()
+
+    def test_free_unallocated_raises(self):
+        pool = make_pool()
+        with pytest.raises(IndexError):
+            pool.free(0)
+
+    def test_row_out_of_range_raises(self):
+        pool = make_pool()
+        with pytest.raises(IndexError):
+            pool.row(0)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            BlockPool(0, EDGE_CELL_DTYPE, blank_edge_cells)
+        with pytest.raises(ValueError):
+            BlockPool(4, EDGE_CELL_DTYPE, blank_edge_cells, initial_blocks=0)
+
+
+class TestViews:
+    def test_row_is_view(self):
+        pool = make_pool()
+        a = pool.allocate()
+        pool.row(a)["dst"][0] = 5
+        assert pool.row(a)["dst"][0] == 5
+
+    def test_view_slice(self):
+        pool = make_pool(width=8)
+        a = pool.allocate()
+        pool.view(a, 2, 6)["dst"][:] = 3
+        row = pool.row(a)["dst"]
+        assert (row[2:6] == 3).all()
+        assert row[0] == EMPTY and row[6] == EMPTY
+
+    def test_iter_used_skips_freed(self):
+        pool = make_pool()
+        ids = [pool.allocate() for _ in range(4)]
+        pool.free(ids[1])
+        assert list(pool.iter_used()) == [0, 2, 3]
+
+    def test_len_counts_live_blocks(self):
+        pool = make_pool()
+        ids = [pool.allocate() for _ in range(4)]
+        pool.free(ids[0])
+        assert len(pool) == 3
+        assert pool.high_water == 4
+
+
+class TestBulkAccess:
+    def test_allocate_many(self):
+        pool = make_pool()
+        ids = pool.allocate_many(5)
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_raw_covers_used_rows(self):
+        pool = make_pool()
+        a = pool.allocate()
+        pool.allocate()
+        pool.row(a)["dst"][0] = 42
+        raw = pool.raw()
+        assert raw.shape[0] == 2
+        assert raw["dst"][a][0] == 42
+
+    def test_raw_excludes_unused_capacity(self):
+        pool = make_pool(initial=8)
+        pool.allocate()
+        assert pool.raw().shape[0] == 1
+
+
+class TestEdgeLocation:
+    def test_fields_and_tuple_behaviour(self):
+        from repro.core.edgeblock_array import MAIN, OVERFLOW, EdgeLocation
+
+        loc = EdgeLocation(OVERFLOW, 3, 17)
+        assert loc.region == OVERFLOW
+        assert loc.block == 3
+        assert loc.slot == 17
+        assert tuple(loc) == (OVERFLOW, 3, 17)
+        assert loc == (OVERFLOW, 3, 17)  # tuple equality for test ergonomics
+
+
+@given(st.lists(st.sampled_from(["alloc", "free"]), min_size=1, max_size=200))
+def test_pool_alloc_free_fuzz(ops):
+    """Allocation/free sequences never corrupt bookkeeping."""
+    pool = make_pool()
+    live: list[int] = []
+    for op in ops:
+        if op == "alloc" or not live:
+            idx = pool.allocate()
+            assert idx not in live
+            live.append(idx)
+        else:
+            pool.free(live.pop())
+        assert pool.n_used == len(live)
+        assert pool.high_water >= pool.n_used
+    assert sorted(pool.iter_used()) == sorted(live)

@@ -1,0 +1,93 @@
+"""Tests for the Inference-Box predictor variants (ratio vs degree)."""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, GraphTinker, GTConfig
+from repro.bench.costmodel import DEFAULT_COST_MODEL
+from repro.engine import BFS, HybridEngine
+from repro.engine.modes import FULL, INCREMENTAL
+from repro.errors import ConfigError
+from repro.workloads import rmat_edges
+
+
+def store_with(edges):
+    gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+    gt.insert_batch(edges)
+    return gt
+
+
+class TestConfig:
+    def test_default_is_ratio(self):
+        assert EngineConfig().predictor == "ratio"
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(predictor="magic")
+
+
+class TestDegreePredictor:
+    def test_degree_numerator_counts_frontier_edges(self):
+        # vertex 0 has out-degree 5, vertex 1 has out-degree 1: E = 6.
+        edges = np.array([[0, d] for d in range(1, 6)] + [[1, 9]])
+        gt = store_with(edges)
+        cfg = EngineConfig(predictor="degree", threshold=0.5)
+        engine = HybridEngine(gt, BFS(), config=cfg)
+        # active = {0}: D/E = 5/6 > 0.5 -> FP
+        mode, t = engine.predict_mode(1, np.array([0]))
+        assert (mode, t) == (FULL, pytest.approx(5 / 6))
+        # active = {1}: D/E = 1/6 < 0.5 -> IP
+        mode, t = engine.predict_mode(1, np.array([1]))
+        assert (mode, t) == (INCREMENTAL, pytest.approx(1 / 6))
+
+    def test_ratio_predictor_ignores_degrees(self):
+        edges = np.array([[0, d] for d in range(1, 6)] + [[1, 9]])
+        gt = store_with(edges)
+        engine = HybridEngine(gt, BFS(), config=EngineConfig(threshold=0.5))
+        m0, t0 = engine.predict_mode(1, np.array([0]))
+        m1, t1 = engine.predict_mode(1, np.array([1]))
+        assert t0 == t1  # same A, same T regardless of who is active
+
+    def test_degree_predictor_unknown_vertices_count_zero(self):
+        edges = np.array([[0, 1]])
+        gt = store_with(edges)
+        cfg = EngineConfig(predictor="degree", threshold=0.5)
+        engine = HybridEngine(gt, BFS(), config=cfg)
+        mode, t = engine.predict_mode(1, np.array([999]))  # sink/unseen
+        assert mode == INCREMENTAL and t == 0.0
+
+    def test_results_identical_across_predictors(self):
+        """Predictor choice affects cost, never results."""
+        edges = rmat_edges(9, 2500, seed=17)
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        root = int(edges[0, 0])
+        values = {}
+        for pred in ("ratio", "degree"):
+            gt = store_with(edges)
+            threshold = (
+                DEFAULT_COST_MODEL.hybrid_threshold(16)
+                if pred == "ratio"
+                else DEFAULT_COST_MODEL.hybrid_threshold_degree(
+                    edges.shape[0] / np.unique(edges[:, 0]).shape[0], 16
+                )
+            )
+            engine = HybridEngine(
+                gt, BFS(), config=EngineConfig(predictor=pred, threshold=threshold)
+            )
+            engine.reset(roots=[root])
+            engine.compute()
+            values[pred] = engine.values
+        n = min(v.shape[0] for v in values.values())
+        assert (values["ratio"][:n] == values["degree"][:n]).all()
+
+
+class TestCalibration:
+    def test_degree_threshold_scales_with_degree(self):
+        t_ratio = DEFAULT_COST_MODEL.hybrid_threshold(64)
+        t_degree = DEFAULT_COST_MODEL.hybrid_threshold_degree(16.0, 64)
+        assert t_degree == pytest.approx(16.0 * t_ratio)
+
+    def test_threshold_falls_with_pagewidth(self):
+        """Wider blocks make IP gathers dearer -> lower break-even."""
+        assert (DEFAULT_COST_MODEL.hybrid_threshold(256)
+                < DEFAULT_COST_MODEL.hybrid_threshold(16))

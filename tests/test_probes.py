@@ -1,0 +1,79 @@
+"""Tests for probe-distance measurement (the O(log n) vs O(n) claim)."""
+
+import numpy as np
+import pytest
+
+from repro import GraphTinker, GTConfig, StingerConfig
+from repro.core.probes import (
+    ProbeSummary,
+    degree_vs_probe_curve,
+    graphtinker_probe_summary,
+    stinger_probe_summary,
+)
+from repro.stinger import Stinger
+
+
+@pytest.fixture
+def loaded_pair(rng):
+    """Both stores loaded with the same hub-heavy stream."""
+    src = rng.choice([0] * 6 + list(range(1, 30)), 4000)
+    dst = rng.integers(0, 3000, 4000)
+    edges = np.column_stack([src, dst]).astype(np.int64)
+    gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+    st = Stinger(StingerConfig(edgeblock_size=4))
+    gt.insert_batch(edges)
+    st.insert_batch(edges)
+    return gt, st
+
+
+class TestProbeSummary:
+    def test_empty(self):
+        s = ProbeSummary.from_samples(np.empty(0))
+        assert s.count == 0 and s.mean == 0.0
+
+    def test_statistics(self):
+        s = ProbeSummary.from_samples(np.array([1.0, 2.0, 3.0, 10.0]))
+        assert s.count == 4
+        assert s.mean == 4.0
+        assert s.max == 10.0
+        assert 3.0 <= s.p95 <= 10.0
+
+
+class TestMeasurement:
+    def test_empty_stores(self):
+        gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+        assert graphtinker_probe_summary(gt).count == 0
+        st = Stinger(StingerConfig())
+        assert stinger_probe_summary(st).count == 0
+
+    def test_measurement_is_side_effect_free(self, loaded_pair):
+        gt, st = loaded_pair
+        before_gt = gt.stats.as_dict()
+        before_st = st.stats.as_dict()
+        graphtinker_probe_summary(gt, sample_vertices=16)
+        stinger_probe_summary(st, sample_vertices=16)
+        assert gt.stats.as_dict() == before_gt
+        assert st.stats.as_dict() == before_st
+
+    def test_graphtinker_probes_sublinear_vs_stinger(self, loaded_pair):
+        """The paper's core claim on a hub vertex: GT's probe cost grows
+        like log(degree), STINGER's like degree."""
+        gt, st = loaded_pair
+        gt_summary = graphtinker_probe_summary(gt, sample_vertices=1000)
+        st_summary = stinger_probe_summary(st, sample_vertices=1000)
+        assert gt_summary.max < st_summary.max
+        assert gt_summary.mean < st_summary.mean
+
+    def test_degree_vs_probe_curve_monotone_but_sublinear(self, loaded_pair):
+        gt, _ = loaded_pair
+        curve = degree_vs_probe_curve(gt)
+        assert len(curve) >= 2
+        degrees = [c[0] for c in curve]
+        probes = [c[1] for c in curve]
+        # probe grows with degree but much slower than linearly:
+        # the biggest-degree bucket has >> 16x the degree of the smallest
+        # but its mean probe must be far below 16x.
+        finite = [(d, p) for d, p in zip(degrees, probes) if np.isfinite(d)]
+        if len(finite) >= 2:
+            (d0, p0), (d1, p1) = finite[0], finite[-1]
+            assert p1 / p0 < (d1 / d0) ** 0.75

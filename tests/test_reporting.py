@@ -1,0 +1,44 @@
+"""Tests for the table reporter."""
+
+import pytest
+
+from repro.bench.reporting import Table, fmt_ratio
+
+
+class TestTable:
+    def test_render_contains_title_columns_rows(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row([1, 2.5])
+        text = t.render()
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert "2.500" in text
+
+    def test_column_count_enforced(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        assert Table._fmt(0.0) == "0"
+        assert Table._fmt(1234.5) == "1.23e+03"
+        assert Table._fmt(0.001) == "0.001"
+        assert Table._fmt(1.25) == "1.250"
+        assert Table._fmt("x") == "x"
+
+    def test_alignment(self):
+        t = Table("demo", ["name", "v"])
+        t.add_row(["longer-name", 1])
+        t.add_row(["x", 22])
+        lines = t.render().splitlines()
+        # all data lines share the separator column position
+        positions = {line.index("|") for line in lines[1:] if "|" in line}
+        assert len(positions) == 1
+
+
+class TestFmtRatio:
+    def test_basic(self):
+        assert fmt_ratio(4.0, 2.0) == "2.00x"
+
+    def test_zero_denominator(self):
+        assert fmt_ratio(1.0, 0.0) == "inf"

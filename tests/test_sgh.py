@@ -1,0 +1,106 @@
+"""Unit + property tests for the Scatter-Gather Hashing unit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.sgh import ScatterGatherHash
+from repro.errors import VertexNotFoundError
+
+
+class TestDenseAssignment:
+    def test_ids_assigned_from_zero_in_arrival_order(self):
+        sgh = ScatterGatherHash()
+        assert sgh.hash_id(34) == 0
+        assert sgh.hash_id(22789) == 1
+        assert sgh.hash_id(5) == 2
+
+    def test_repeat_returns_same_id(self):
+        sgh = ScatterGatherHash()
+        first = sgh.hash_id(99)
+        assert sgh.hash_id(99) == first
+        assert len(sgh) == 1
+
+    def test_lookup_without_assign(self):
+        sgh = ScatterGatherHash()
+        sgh.hash_id(7)
+        assert sgh.lookup(7) == 0
+        with pytest.raises(VertexNotFoundError):
+            sgh.lookup(8)
+        assert len(sgh) == 1  # lookup never assigns
+
+    def test_try_lookup(self):
+        sgh = ScatterGatherHash()
+        assert sgh.try_lookup(1) is None
+        sgh.hash_id(1)
+        assert sgh.try_lookup(1) == 0
+
+    def test_contains(self):
+        sgh = ScatterGatherHash()
+        sgh.hash_id(42)
+        assert 42 in sgh
+        assert 43 not in sgh
+
+
+class TestInverse:
+    def test_roundtrip(self):
+        sgh = ScatterGatherHash()
+        originals = [100, 2, 999999, 5]
+        for o in originals:
+            sgh.hash_id(o)
+        for o in originals:
+            assert sgh.original_id(sgh.lookup(o)) == o
+
+    def test_original_id_out_of_range(self):
+        sgh = ScatterGatherHash()
+        with pytest.raises(VertexNotFoundError):
+            sgh.original_id(0)
+
+    def test_vectorised_inverse(self):
+        sgh = ScatterGatherHash()
+        for o in (10, 20, 30):
+            sgh.hash_id(o)
+        got = sgh.original_ids(np.array([2, 0, 1]))
+        assert got.tolist() == [30, 10, 20]
+
+    def test_reverse_view_read_only(self):
+        sgh = ScatterGatherHash()
+        sgh.hash_id(5)
+        view = sgh.reverse_view()
+        assert view.tolist() == [5]
+        with pytest.raises(ValueError):
+            view[0] = 1
+
+
+class TestGrowthAndBatch:
+    def test_growth_beyond_initial_capacity(self):
+        sgh = ScatterGatherHash(initial_capacity=2)
+        for o in range(1000):
+            sgh.hash_id(o * 7 + 3)
+        assert len(sgh) == 1000
+        assert sgh.original_id(999) == 999 * 7 + 3
+
+    def test_batch_assignment_order(self):
+        sgh = ScatterGatherHash()
+        ids = sgh.hash_ids_array(np.array([50, 60, 50, 70]))
+        assert ids.tolist() == [0, 1, 0, 2]
+
+    def test_stats_counted(self):
+        sgh = ScatterGatherHash()
+        sgh.hash_id(1)
+        sgh.lookup(1)
+        sgh.try_lookup(2)
+        assert sgh.stats.hash_lookups == 3
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**12), min_size=1, max_size=500))
+def test_sgh_is_a_bijection_onto_dense_prefix(originals):
+    """Property: the mapping is a bijection distinct-originals <-> [0, n)."""
+    sgh = ScatterGatherHash()
+    for o in originals:
+        sgh.hash_id(o)
+    distinct = list(dict.fromkeys(originals))
+    assert len(sgh) == len(distinct)
+    dense = [sgh.lookup(o) for o in distinct]
+    assert sorted(dense) == list(range(len(distinct)))
+    assert [sgh.original_id(i) for i in dense] == distinct

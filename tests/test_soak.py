@@ -1,0 +1,56 @@
+"""Soak test: a long mixed workload at the paper's default geometry.
+
+One sustained session exercising every operation class — weighted
+inserts, duplicate updates, point deletes, vertex deletes, churn,
+interleaved analytics — on GraphTinker with the paper's PW64/SB8/WB4
+configuration, verified step-by-step against the reference model and
+against networkx at the end.  This is the closest thing to a production
+shake-down the suite has.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import GraphTinker, GTConfig
+from repro.engine import BFS, HybridEngine
+from tests.reference import ReferenceGraph, assert_store_matches
+
+
+@pytest.mark.parametrize("compact", [False, True])
+def test_soak_mixed_session(compact):
+    rng = np.random.default_rng(1234)
+    gt = GraphTinker(GTConfig(compact_on_delete=compact))
+    ref = ReferenceGraph()
+
+    for phase in range(6):
+        # --- update burst ------------------------------------------------
+        for _ in range(3000):
+            roll = rng.random()
+            s = int(rng.integers(0, 300))
+            d = int(rng.integers(0, 1500))
+            if roll < 0.62:
+                w = float(rng.uniform(0.1, 5.0))
+                assert gt.insert_edge(s, d, w) == ref.insert_edge(s, d, w)
+            elif roll < 0.92:
+                assert gt.delete_edge(s, d) == ref.delete_edge(s, d)
+            else:
+                expected = ref.degree(s)
+                ref.adj.pop(s, None)
+                assert gt.delete_vertex(s) == expected
+        gt.check_invariants()
+        assert gt.n_edges == ref.n_edges
+
+        # --- interleaved analytics ---------------------------------------
+        if ref.n_edges:
+            some_src = next(iter(ref.adj))
+            engine = HybridEngine(gt, BFS(), policy="hybrid")
+            engine.reset(roots=[some_src])
+            engine.compute()
+            G = nx.DiGraph()
+            G.add_edges_from(ref.edge_set())
+            expected_levels = nx.single_source_shortest_path_length(G, some_src)
+            for v, level in list(expected_levels.items())[:200]:
+                assert engine.value_of(v) == level, (phase, v)
+
+    assert_store_matches(gt, ref)

@@ -1,0 +1,84 @@
+"""Unit tests for AccessStats instrumentation bookkeeping."""
+
+from repro.core.stats import AccessStats, ProbeHistogram
+
+
+class TestAccessStats:
+    def test_starts_zeroed(self):
+        s = AccessStats()
+        assert all(v == 0 for v in s.as_dict().values())
+
+    def test_snapshot_is_independent(self):
+        s = AccessStats()
+        s.workblock_fetches = 3
+        snap = s.snapshot()
+        s.workblock_fetches = 10
+        assert snap.workblock_fetches == 3
+
+    def test_delta(self):
+        s = AccessStats()
+        s.random_block_reads = 5
+        before = s.snapshot()
+        s.random_block_reads = 12
+        s.rhh_swaps = 2
+        d = s.delta(before)
+        assert d.random_block_reads == 7
+        assert d.rhh_swaps == 2
+        assert d.workblock_fetches == 0
+
+    def test_merge_accumulates(self):
+        a, b = AccessStats(), AccessStats()
+        a.cells_scanned = 4
+        b.cells_scanned = 6
+        b.hash_lookups = 1
+        a.merge(b)
+        assert a.cells_scanned == 10
+        assert a.hash_lookups == 1
+
+    def test_reset(self):
+        s = AccessStats()
+        s.seq_block_reads = 9
+        s.reset()
+        assert s.seq_block_reads == 0
+
+    def test_total_block_accesses(self):
+        s = AccessStats()
+        s.workblock_fetches = 1
+        s.workblock_writebacks = 2
+        s.branch_descents = 3
+        s.random_block_reads = 4
+        s.seq_block_reads = 5
+        s.cal_updates = 6
+        assert s.total_block_accesses == 21
+        s.cells_scanned = 100  # CPU-side: not a block access
+        assert s.total_block_accesses == 21
+
+    def test_reset_then_merge_restores_snapshot(self):
+        """The audit-path idiom: reset + merge(snapshot) is a restore."""
+        s = AccessStats()
+        s.edges_inserted = 7
+        s.rhh_swaps = 3
+        snap = s.snapshot()
+        s.edges_inserted = 99
+        s.reset()
+        s.merge(snap)
+        assert s.as_dict() == snap.as_dict()
+
+
+class TestProbeHistogram:
+    def test_mean_and_max(self):
+        h = ProbeHistogram()
+        for p in (0, 1, 2, 5):
+            h.record(p)
+        assert h.count == 4
+        assert h.mean == 2.0
+        assert h.max_probe == 5
+
+    def test_empty_mean(self):
+        assert ProbeHistogram().mean == 0.0
+
+    def test_reset(self):
+        h = ProbeHistogram()
+        h.record(4)
+        h.reset()
+        assert h.count == 0 and h.max_probe == 0

@@ -1,0 +1,153 @@
+"""Unit + property tests for the STINGER baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro import StingerConfig
+from repro.stinger import Stinger
+from repro.errors import VertexNotFoundError
+from tests.reference import ReferenceGraph, assert_store_matches
+
+
+class TestBasicOperations:
+    def test_insert_and_query(self, stinger_config):
+        st_ = Stinger(stinger_config)
+        assert st_.insert_edge(1, 2, 3.0)
+        assert st_.has_edge(1, 2)
+        assert st_.edge_weight(1, 2) == 3.0
+
+    def test_duplicate_updates_weight(self, stinger_config):
+        st_ = Stinger(stinger_config)
+        st_.insert_edge(1, 2, 1.0)
+        assert not st_.insert_edge(1, 2, 9.0)
+        assert st_.edge_weight(1, 2) == 9.0
+        assert st_.n_edges == 1
+
+    def test_delete_flags_slot(self, stinger_config):
+        st_ = Stinger(stinger_config)
+        st_.insert_edge(1, 2)
+        assert st_.delete_edge(1, 2)
+        assert not st_.has_edge(1, 2)
+        assert st_.n_edges == 0
+
+    def test_deleted_slot_reused(self, stinger_config):
+        st_ = Stinger(stinger_config)
+        for d in range(stinger_config.edgeblock_size):
+            st_.insert_edge(0, d)
+        blocks = st_.pool.n_used
+        st_.delete_edge(0, 0)
+        st_.insert_edge(0, 99)
+        assert st_.pool.n_used == blocks  # reused the flagged slot
+
+    def test_chain_growth(self, stinger_config):
+        st_ = Stinger(stinger_config)
+        n = stinger_config.edgeblock_size * 5
+        for d in range(n):
+            st_.insert_edge(0, d)
+        assert st_.pool.n_used == 5
+        assert st_.degree(0) == n
+
+    def test_neighbors_unknown_vertex(self, stinger_config):
+        with pytest.raises(VertexNotFoundError):
+            Stinger(stinger_config).neighbors(3)
+
+    def test_insert_batch_shape_check(self, stinger_config):
+        with pytest.raises(ValueError):
+            Stinger(stinger_config).insert_batch(np.zeros((2, 3), dtype=np.int64))
+
+
+class TestProbeBehaviour:
+    def test_chain_traversal_counts_block_reads(self, stinger_config):
+        """The defining cost: inserts traverse the whole chain."""
+        st_ = Stinger(stinger_config)
+        n = stinger_config.edgeblock_size * 4  # 4 chained blocks
+        for d in range(n):
+            st_.insert_edge(0, d)
+        st_.stats.reset()
+        st_.insert_edge(0, 9999)
+        # must have visited all 4 blocks to rule out a duplicate
+        assert st_.stats.random_block_reads == 4
+
+    def test_probe_cost_grows_with_degree(self, stinger_config):
+        st_ = Stinger(stinger_config)
+        costs = []
+        for d in range(64):
+            before = st_.stats.random_block_reads
+            st_.insert_edge(0, d)
+            costs.append(st_.stats.random_block_reads - before)
+        assert costs[-1] > costs[0]  # O(n) probe growth
+
+
+class TestRetrieval:
+    def test_edge_arrays_roundtrip(self, stinger_config, random_edges):
+        st_ = Stinger(stinger_config)
+        st_.insert_batch(random_edges)
+        src, dst, _ = st_.edge_arrays()
+        got = set(zip(src.tolist(), dst.tolist()))
+        expected = {(s, d) for s, d in random_edges.tolist()}
+        assert got == expected
+
+    def test_edges_iterator(self, stinger_config):
+        st_ = Stinger(stinger_config)
+        st_.insert_edge(2, 3, 4.0)
+        assert list(st_.edges()) == [(2, 3, 4.0)]
+
+    def test_analytics_edges_alias(self, stinger_config):
+        st_ = Stinger(stinger_config)
+        st_.insert_edge(5, 6)
+        src, dst, _ = st_.analytics_edges()
+        assert (src.tolist(), dst.tolist()) == ([5], [6])
+
+
+class TestAgainstReference:
+    def test_randomized_mixed_workload(self, stinger_config, rng):
+        st_ = Stinger(stinger_config)
+        ref = ReferenceGraph()
+        for _ in range(4000):
+            s = int(rng.integers(0, 40))
+            d = int(rng.integers(0, 120))
+            if rng.random() < 0.65:
+                w = float(rng.random())
+                assert st_.insert_edge(s, d, w) == ref.insert_edge(s, d, w)
+            else:
+                assert st_.delete_edge(s, d) == ref.delete_edge(s, d)
+        st_.check_invariants()
+        assert_store_matches(st_, ref)
+
+
+class _StingerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.st = Stinger(StingerConfig(edgeblock_size=3, initial_vertices=2))
+        self.ref = ReferenceGraph()
+
+    @rule(src=st.integers(0, 10), dst=st.integers(0, 30),
+          weight=st.floats(0, 5, allow_nan=False))
+    def insert(self, src, dst, weight):
+        assert self.st.insert_edge(src, dst, weight) == self.ref.insert_edge(src, dst, weight)
+
+    @rule(src=st.integers(0, 10), dst=st.integers(0, 30))
+    def delete(self, src, dst):
+        assert self.st.delete_edge(src, dst) == self.ref.delete_edge(src, dst)
+
+    @rule(src=st.integers(0, 10), dst=st.integers(0, 30))
+    def query(self, src, dst):
+        assert self.st.has_edge(src, dst) == self.ref.has_edge(src, dst)
+
+    @invariant()
+    def counts_match(self):
+        assert self.st.n_edges == self.ref.n_edges
+
+    def teardown(self):
+        self.st.check_invariants()
+        assert_store_matches(self.st, self.ref)
+
+
+class TestStingerMachine(_StingerMachine.TestCase):
+    pass
+
+
+TestStingerMachine.settings = settings(max_examples=40, stateful_step_count=60)

@@ -1,0 +1,125 @@
+"""Tests for edge-stream batching, symmetrisation and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.streams import (
+    EdgeStream,
+    batch_view,
+    highest_degree_roots,
+    interleaved_schedule,
+    symmetrize,
+)
+
+
+@pytest.fixture
+def edges(rng):
+    return np.column_stack([rng.integers(0, 50, 1000),
+                            rng.integers(0, 50, 1000)]).astype(np.int64)
+
+
+class TestBatchView:
+    def test_exact_split(self, edges):
+        batches = batch_view(edges, 250)
+        assert len(batches) == 4
+        assert all(b.shape[0] == 250 for b in batches)
+
+    def test_ragged_tail(self, edges):
+        batches = batch_view(edges, 300)
+        assert [b.shape[0] for b in batches] == [300, 300, 300, 100]
+
+    def test_views_not_copies(self, edges):
+        batches = batch_view(edges, 100)
+        assert batches[0].base is edges
+
+    def test_bad_batch_size(self, edges):
+        with pytest.raises(WorkloadError):
+            batch_view(edges, 0)
+
+
+class TestEdgeStream:
+    def test_counts(self, edges):
+        s = EdgeStream(edges, 128)
+        assert s.n_edges == 1000
+        assert s.n_batches == 8
+
+    def test_insert_batches_cover_stream_in_order(self, edges):
+        s = EdgeStream(edges, 300)
+        got = np.concatenate(list(s.insert_batches()))
+        assert (got == edges).all()
+
+    def test_delete_batches_permute_deterministically(self, edges):
+        s = EdgeStream(edges, 300)
+        a = np.concatenate(list(s.delete_batches(seed=5)))
+        b = np.concatenate(list(s.delete_batches(seed=5)))
+        assert (a == b).all()
+        assert sorted(map(tuple, a.tolist())) == sorted(map(tuple, edges.tolist()))
+        assert not (a == edges).all()
+
+    def test_delete_batches_insertion_order(self, edges):
+        s = EdgeStream(edges, 400)
+        got = np.concatenate(list(s.delete_batches(seed=None)))
+        assert (got == edges).all()
+
+    def test_prefix(self, edges):
+        s = EdgeStream(edges, 100).prefix(250)
+        assert s.n_edges == 250
+        assert s.n_batches == 3
+
+    def test_shape_validation(self):
+        with pytest.raises(WorkloadError):
+            EdgeStream(np.zeros((3, 3), dtype=np.int64), 10)
+        with pytest.raises(WorkloadError):
+            EdgeStream(np.zeros((3, 2), dtype=np.int64), 0)
+
+
+class TestSymmetrize:
+    def test_interleaves_reverse_edges(self):
+        out = symmetrize(np.array([[1, 2], [3, 4]]))
+        assert out.tolist() == [[1, 2], [2, 1], [3, 4], [4, 3]]
+
+    def test_batch_never_half_symmetric(self):
+        """Any even-sized prefix of a symmetrised stream is symmetric."""
+        edges = np.array([[0, 1], [2, 3], [4, 5]])
+        out = symmetrize(edges)
+        for cut in range(0, out.shape[0] + 1, 2):
+            prefix = {tuple(e) for e in out[:cut].tolist()}
+            assert all((d, s) in prefix for s, d in prefix)
+
+
+class TestSchedule:
+    def test_ratio_4_to_7_over_32_batches(self):
+        """The paper's worked example: interception after every 8th batch."""
+        sched = interleaved_schedule(32, 4, 7)
+        assert sched == [(7, 7), (15, 7), (23, 7), (31, 7)]
+
+    def test_more_interceptions_than_batches_clamped(self):
+        sched = interleaved_schedule(3, 10, 1)
+        assert len(sched) == 3
+
+    def test_bad_arguments(self):
+        with pytest.raises(WorkloadError):
+            interleaved_schedule(0, 1, 1)
+        with pytest.raises(WorkloadError):
+            interleaved_schedule(4, 0, 1)
+
+
+class TestRoots:
+    def test_highest_degree_roots(self):
+        edges = np.array([[1, 0]] * 5 + [[2, 0]] * 3 + [[3, 0]] * 4)
+        roots = highest_degree_roots(edges, k=2)
+        assert roots.tolist() == [1, 3]
+
+    def test_ties_break_to_smaller_id(self):
+        edges = np.array([[5, 0], [2, 0], [5, 1], [2, 1]])
+        roots = highest_degree_roots(edges, k=1)
+        assert roots.tolist() == [2]
+
+    def test_k_larger_than_sources(self):
+        edges = np.array([[1, 0], [2, 0]])
+        assert highest_degree_roots(edges, k=20).shape[0] == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(WorkloadError):
+            highest_degree_roots(np.empty((0, 2), dtype=np.int64))

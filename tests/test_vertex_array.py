@@ -1,0 +1,97 @@
+"""Unit tests for the VertexPropertyArray."""
+
+import numpy as np
+import pytest
+
+from repro.core.vertex_array import FLAG_ACTIVE, FLAG_INCONSISTENT, VertexPropertyArray
+
+
+class TestGrowth:
+    def test_ensure_extends_count(self):
+        vpa = VertexPropertyArray(2)
+        vpa.ensure(10)
+        assert len(vpa) == 11
+
+    def test_growth_preserves_state(self):
+        vpa = VertexPropertyArray(2)
+        vpa.add_degree(0, 3)
+        vpa.ensure(100)
+        assert vpa.degree(0) == 3
+        assert np.isinf(vpa.values[50])
+
+    def test_new_slots_initialised(self):
+        vpa = VertexPropertyArray(2)
+        vpa.ensure(5)
+        assert (vpa.degrees == 0).all()
+        assert np.isinf(vpa.values).all()
+        assert (vpa.flags == 0).all()
+
+
+class TestDegrees:
+    def test_add_degree(self):
+        vpa = VertexPropertyArray()
+        vpa.add_degree(3, 2)
+        vpa.add_degree(3, -1)
+        assert vpa.degree(3) == 1
+
+    def test_degree_of_unknown_vertex(self):
+        assert VertexPropertyArray().degree(99) == 0
+
+
+class TestValues:
+    def test_set_values_roundtrip(self):
+        vpa = VertexPropertyArray()
+        vpa.ensure(3)
+        vpa.set_values(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert vpa.values.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_set_values_length_mismatch(self):
+        vpa = VertexPropertyArray()
+        vpa.ensure(2)
+        with pytest.raises(ValueError):
+            vpa.set_values(np.zeros(5))
+
+    def test_reset_values(self):
+        vpa = VertexPropertyArray()
+        vpa.ensure(2)
+        vpa.set_values(np.array([1.0, 2.0, 3.0]))
+        vpa.reset_values(0.0)
+        assert (vpa.values == 0.0).all()
+
+    def test_values_view_is_writable(self):
+        vpa = VertexPropertyArray()
+        vpa.ensure(1)
+        vpa.values[0] = 5.0
+        assert vpa.values[0] == 5.0
+
+
+class TestFlags:
+    def test_set_and_query_flag(self):
+        vpa = VertexPropertyArray()
+        vpa.set_flag(np.array([1, 3]), FLAG_ACTIVE)
+        assert vpa.flagged(FLAG_ACTIVE).tolist() == [1, 3]
+
+    def test_flags_are_independent_bits(self):
+        vpa = VertexPropertyArray()
+        vpa.set_flag(np.array([0]), FLAG_ACTIVE)
+        vpa.set_flag(np.array([0, 1]), FLAG_INCONSISTENT)
+        assert vpa.flagged(FLAG_ACTIVE).tolist() == [0]
+        assert vpa.flagged(FLAG_INCONSISTENT).tolist() == [0, 1]
+
+    def test_clear_flag(self):
+        vpa = VertexPropertyArray()
+        vpa.set_flag(np.array([0, 1]), FLAG_ACTIVE)
+        vpa.set_flag(np.array([1]), FLAG_INCONSISTENT)
+        vpa.clear_flag(FLAG_ACTIVE)
+        assert vpa.flagged(FLAG_ACTIVE).size == 0
+        assert vpa.flagged(FLAG_INCONSISTENT).tolist() == [1]
+
+    def test_set_flag_grows(self):
+        vpa = VertexPropertyArray(2)
+        vpa.set_flag(np.array([50]), FLAG_ACTIVE)
+        assert len(vpa) == 51
+
+    def test_set_flag_empty_array(self):
+        vpa = VertexPropertyArray()
+        vpa.set_flag(np.empty(0, dtype=np.int64), FLAG_ACTIVE)
+        assert len(vpa) == 0

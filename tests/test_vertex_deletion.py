@@ -1,0 +1,92 @@
+"""Tests for whole-vertex deletion across both stores."""
+
+import numpy as np
+import pytest
+
+from repro import GraphTinker, GTConfig, StingerConfig
+from repro.stinger import Stinger
+from tests.reference import ReferenceGraph, assert_store_matches
+
+
+@pytest.fixture(params=["gt", "gt_compact", "stinger"])
+def store(request):
+    if request.param == "gt":
+        return GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+    if request.param == "gt_compact":
+        return GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2,
+                                    compact_on_delete=True))
+    return Stinger(StingerConfig(edgeblock_size=4))
+
+
+class TestDeleteVertex:
+    def test_removes_all_out_edges(self, store):
+        for d in range(40):
+            store.insert_edge(7, d)
+        store.insert_edge(8, 1)
+        assert store.delete_vertex(7) == 40
+        assert store.degree(7) == 0
+        assert store.n_edges == 1
+        assert store.has_edge(8, 1)
+        store.check_invariants()
+
+    def test_unknown_vertex(self, store):
+        assert store.delete_vertex(99) == 0
+
+    def test_vertex_with_no_edges_after_deletion(self, store):
+        store.insert_edge(3, 4)
+        store.delete_edge(3, 4)
+        assert store.delete_vertex(3) == 0
+
+    def test_in_edges_untouched(self, store):
+        store.insert_edge(1, 2)
+        store.insert_edge(2, 1)
+        store.delete_vertex(1)
+        assert store.has_edge(2, 1)
+        assert not store.has_edge(1, 2)
+
+    def test_vertex_reusable_after_deletion(self, store):
+        for d in range(20):
+            store.insert_edge(5, d)
+        store.delete_vertex(5)
+        assert store.insert_edge(5, 100)
+        assert store.degree(5) == 1
+        assert store.has_edge(5, 100)
+        store.check_invariants()
+
+    def test_matches_reference_under_churn(self, store, rng):
+        ref = ReferenceGraph()
+        for i in range(2500):
+            roll = rng.random()
+            s = int(rng.integers(0, 12))
+            d = int(rng.integers(0, 50))
+            if roll < 0.7:
+                assert store.insert_edge(s, d) == ref.insert_edge(s, d)
+            elif roll < 0.9:
+                assert store.delete_edge(s, d) == ref.delete_edge(s, d)
+            else:
+                expected = ref.degree(s)
+                ref.adj.pop(s, None)
+                assert store.delete_vertex(s) == expected
+        store.check_invariants()
+        assert_store_matches(store, ref)
+
+
+class TestGraphTinkerSpecific:
+    def test_cal_copies_invalidated(self):
+        gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
+        for d in range(30):
+            gt.insert_edge(0, d)
+        gt.insert_edge(1, 5)
+        gt.delete_vertex(0)
+        assert gt.cal.n_edges == 1
+        src, dst, _ = gt.analytics_edges()
+        assert (src.tolist(), dst.tolist()) == ([1], [5])
+
+    def test_compact_mode_frees_blocks(self):
+        gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2,
+                                  compact_on_delete=True))
+        for d in range(300):
+            gt.insert_edge(0, d)
+        assert gt.eba.overflow.n_used > 0
+        gt.delete_vertex(0)
+        assert gt.eba.overflow.n_used == 0
