@@ -54,14 +54,22 @@ def make_store(kind: str, gt_config: GTConfig | None = None,
 # insertion / deletion protocols (Figs. 8, 9, 14, 17)
 # --------------------------------------------------------------------- #
 def insertion_run(store, stream: EdgeStream) -> list[BatchMeasurement]:
-    """Insert every batch of ``stream``; measure each batch."""
-    return run_batched(list(stream.insert_batches()), store.insert_batch, store.stats)
+    """Insert every batch of ``stream``; measure each batch.
+
+    With :mod:`repro.obs` enabled, every batch lands in the trace tree as
+    an ``insert_batch`` span whose stats delta matches the measurement's.
+    """
+    return run_batched(
+        list(stream.insert_batches()), store.insert_batch, store.stats,
+        span_name="insert_batch",
+    )
 
 
 def deletion_run(store, stream: EdgeStream, seed: int | None = 0) -> list[BatchMeasurement]:
     """Delete the stream's edges batch-by-batch from a loaded store."""
     return run_batched(
-        list(stream.delete_batches(seed)), store.delete_batch, store.stats
+        list(stream.delete_batches(seed)), store.delete_batch, store.stats,
+        span_name="delete_batch",
     )
 
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.bench.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.core.stats import AccessStats
+from repro.obs.tracing import span as obs_span
 
 
 def throughput(n_edges: int, seconds: float) -> float:
@@ -30,8 +31,13 @@ def load_stability(series: Sequence[float], reference_index: int = 4) -> float:
     last batch" for Fig. 8 — ``reference_index`` defaults to 4
     accordingly (clamped for short series).  Returns a fraction in
     [0, 1+) where 0.34 means 34% degradation.
+
+    Accepts any iterable of floats (lists, tuples, numpy arrays,
+    generators).  Series with fewer than two batches have no
+    reference-to-last gap to measure and degrade by definition 0.
     """
-    if not series:
+    series = [float(x) for x in series]
+    if len(series) < 2:
         return 0.0
     ref = series[max(0, min(reference_index, len(series) - 2))]
     last = series[-1]
@@ -61,19 +67,23 @@ def run_batched(
     batches: Sequence[np.ndarray],
     apply_batch: Callable[[np.ndarray], object],
     stats: AccessStats,
+    span_name: str = "batch",
 ) -> list[BatchMeasurement]:
     """Apply batches through ``apply_batch``, measuring each.
 
     ``stats`` is the live counter object of the system under test; a
     snapshot/delta pair brackets each batch so per-batch modeled
-    throughput can be derived.
+    throughput can be derived.  When :mod:`repro.obs` is enabled, each
+    batch is additionally recorded as one ``span_name`` span carrying the
+    same delta.
     """
     out: list[BatchMeasurement] = []
     for i, batch in enumerate(batches):
-        before = stats.snapshot()
-        t0 = time.perf_counter()
-        apply_batch(batch)
-        elapsed = time.perf_counter() - t0
+        with obs_span(span_name, stats=stats, batch=i):
+            before = stats.snapshot()
+            t0 = time.perf_counter()
+            apply_batch(batch)
+            elapsed = time.perf_counter() - t0
         out.append(
             BatchMeasurement(
                 batch_index=i,

@@ -9,27 +9,35 @@ Gives shell access to the library's main workflows without writing code:
 * ``analytics`` — load a dataset and run BFS/SSSP/CC/PageRank through the
   hybrid engine under a chosen policy.
 * ``probe`` — print the probe-distance comparison (the O(log n) claim).
+* ``trace`` — run a small traced load+BFS with :mod:`repro.obs` enabled
+  and dump the span tree / metric exports.
 
-Every command accepts ``--edges`` to bound run time.
+Every command accepts ``--edges`` to bound run time and ``--log-level``
+to control :mod:`repro.obs.log` verbosity.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
+import repro.obs as obs
 from repro.bench.costmodel import DEFAULT_COST_MODEL as MODEL
 from repro.bench.harness import insertion_run, make_store
 from repro.bench.reporting import Table
 from repro.core.probes import graphtinker_probe_summary, stinger_probe_summary
 from repro.engine import HybridEngine
 from repro.engine.algorithms import BFS, SSSP, ConnectedComponents, PageRank
+from repro.obs.log import LEVELS, configure_logging, get_logger, kv
 from repro.workloads import load_dataset, rmat_edges
 from repro.workloads.datasets import DATASET_ORDER, dataset_properties
 from repro.workloads.io import write_edge_list
 from repro.workloads.streams import EdgeStream, highest_degree_roots, symmetrize
+
+log = get_logger("cli")
 
 _ALGORITHMS = {
     "bfs": (BFS, False, True),
@@ -81,6 +89,9 @@ def cmd_load(args) -> int:
     for kind in args.systems:
         store = make_store(kind)
         ms = insertion_run(store, EdgeStream(edges, stream.batch_size))
+        log.info(kv("insertion run finished", system=kind,
+                    edges=store.n_edges,
+                    block_accesses=store.stats.total_block_accesses))
         table.add_row([kind] + [m.modeled_throughput(MODEL) for m in ms])
     table.print()
     return 0
@@ -106,6 +117,8 @@ def cmd_analytics(args) -> int:
     before = store.stats.snapshot()
     result = engine.compute()
     delta = store.stats.delta(before)
+    log.info(kv("analytics finished", algorithm=args.algorithm,
+                iterations=result.n_iterations))
     print(f"{args.algorithm} on {args.dataset} via {args.system} [{args.policy}]:")
     print(f"  iterations: {result.n_iterations}  modes: {result.modes_used()}")
     print(f"  modeled throughput: {MODEL.throughput(store.n_edges, delta):.3f} "
@@ -122,6 +135,65 @@ def cmd_figures(args) -> int:
                                    n_batches=args.batches)
     print(f"wrote {path}")
     print("(run `pytest benchmarks/ --benchmark-only` for every table/figure)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Traced load + BFS: the observability subsystem's show-and-tell.
+
+    Enables :mod:`repro.obs`, batch-inserts a slice of the dataset (one
+    ``insert_batch`` span per batch), runs BFS through the hybrid engine
+    (one ``engine.<mode>`` span per iteration), then prints the span
+    tree, the metrics table, and a cross-check that the per-span
+    ``AccessStats`` deltas sum to the store's own totals.
+    """
+    edges = _edges_for(args)
+    stream = EdgeStream(edges, max(1, edges.shape[0] // args.batches))
+    store = make_store(args.system)
+    tracer = obs.get_tracer()
+    tracer.reset()
+    obs.get_registry().reset()
+    obs.enable()
+    try:
+        with obs.span("trace", stats=store.stats, dataset=args.dataset,
+                      system=args.system):
+            log.info(kv("traced load starting", dataset=args.dataset,
+                        edges=edges.shape[0], batches=stream.n_batches))
+            insertion_run(store, stream)
+            engine = HybridEngine(store, BFS(), policy="hybrid")
+            root = int(highest_degree_roots(edges, 1)[0])
+            engine.reset(roots=[root])
+            log.info(kv("traced BFS starting", root=root))
+            engine.compute()
+    finally:
+        obs.disable()
+
+    roots = tracer.roots
+    print(obs.render_span_tree(roots))
+    obs.registry_to_table(obs.get_registry()).print()
+
+    child_sum = sum((span.merged_delta() for span in roots[0].children),
+                    start=type(store.stats)())
+    total = roots[0].stats_delta
+    line = (f"span-delta cross-check: children sum "
+            f"{child_sum.total_block_accesses} block accesses, "
+            f"store total {total.total_block_accesses}")
+    print(line)
+    if child_sum.as_dict() != total.as_dict():
+        print("WARNING: span deltas do not sum to store totals")
+        return 1
+
+    for path, render, what in (
+        (args.jsonl, lambda: obs.trace_to_jsonl(roots), "trace JSONL"),
+        (args.prometheus,
+         lambda: obs.registry_to_prometheus(obs.get_registry()),
+         "Prometheus metrics"),
+    ):
+        if path:
+            target = Path(path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(render())
+            print(f"wrote {what} to {path}")
     return 0
 
 
@@ -149,12 +221,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="GraphTinker reproduction command-line interface",
     )
+    # Every subcommand inherits --log-level (repro.obs.log verbosity).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--log-level", default="warning", choices=LEVELS,
+                        help="repro logger verbosity (default: warning)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("datasets", help="print the Table 1 dataset registry")
+    p = sub.add_parser("datasets", parents=[common],
+                       help="print the Table 1 dataset registry")
     p.set_defaults(func=cmd_datasets)
 
-    p = sub.add_parser("generate", help="write a dataset / RMAT stream to a file")
+    p = sub.add_parser("generate", parents=[common],
+                       help="write a dataset / RMAT stream to a file")
     p.add_argument("output")
     p.add_argument("--dataset", choices=DATASET_ORDER)
     p.add_argument("--scale", type=int, default=14, help="RMAT scale (no --dataset)")
@@ -162,7 +240,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_generate)
 
-    p = sub.add_parser("load", help="batch-insert a dataset; report throughput")
+    p = sub.add_parser("load", parents=[common],
+                       help="batch-insert a dataset; report throughput")
     p.add_argument("--dataset", default="hollywood_like", choices=DATASET_ORDER)
     p.add_argument("--edges", type=int, default=48_000)
     p.add_argument("--batches", type=int, default=6)
@@ -170,7 +249,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["graphtinker", "gt_nocal", "gt_nosgh", "gt_plain", "stinger"])
     p.set_defaults(func=cmd_load)
 
-    p = sub.add_parser("analytics", help="run a graph algorithm via the hybrid engine")
+    p = sub.add_parser("analytics", parents=[common],
+                       help="run a graph algorithm via the hybrid engine")
     p.add_argument("--dataset", default="rmat_1m_10m", choices=DATASET_ORDER)
     p.add_argument("--edges", type=int, default=48_000)
     p.add_argument("--algorithm", default="bfs", choices=sorted(_ALGORITHMS))
@@ -180,12 +260,28 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["graphtinker", "stinger"])
     p.set_defaults(func=cmd_analytics)
 
-    p = sub.add_parser("probe", help="probe-distance comparison GT vs STINGER")
+    p = sub.add_parser("probe", parents=[common],
+                       help="probe-distance comparison GT vs STINGER")
     p.add_argument("--dataset", default="hollywood_like", choices=DATASET_ORDER)
     p.add_argument("--edges", type=int, default=48_000)
     p.set_defaults(func=cmd_probe)
 
-    p = sub.add_parser("figures", help="export plot-ready CSV figure data")
+    p = sub.add_parser("trace", parents=[common],
+                       help="traced load+BFS; dump span tree and metrics")
+    p.add_argument("dataset", nargs="?", default="hollywood_like",
+                   choices=DATASET_ORDER)
+    p.add_argument("--edges", type=int, default=12_000)
+    p.add_argument("--batches", type=int, default=4)
+    p.add_argument("--system", default="graphtinker",
+                   choices=["graphtinker", "stinger"])
+    p.add_argument("--jsonl", default=None, metavar="PATH",
+                   help="also write the span tree as JSONL")
+    p.add_argument("--prometheus", default=None, metavar="PATH",
+                   help="also write the metrics as Prometheus text")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("figures", parents=[common],
+                       help="export plot-ready CSV figure data")
     p.add_argument("output_dir")
     p.add_argument("--dataset", default="hollywood_like", choices=DATASET_ORDER)
     p.add_argument("--batches", type=int, default=8)
@@ -196,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(getattr(args, "log_level", "warning"))
     return args.func(args)
 
 

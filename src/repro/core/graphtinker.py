@@ -31,6 +31,7 @@ from repro.core.sgh import ScatterGatherHash
 from repro.core.stats import AccessStats
 from repro.core.vertex_array import VertexPropertyArray
 from repro.errors import VertexNotFoundError
+from repro.obs import hooks as obs_hooks
 
 
 class GraphTinker:
@@ -148,6 +149,7 @@ class GraphTinker:
             raise ValueError("vertex ids must be non-negative")
         if weights is None:
             weights = np.ones(edges.shape[0], dtype=np.float64)
+        before = self.stats.snapshot() if obs_hooks.enabled else None
         new = 0
         srcs = edges[:, 0].tolist()
         dsts = edges[:, 1].tolist()
@@ -155,6 +157,8 @@ class GraphTinker:
         for s, d, w in zip(srcs, dsts, wts):
             if self.insert_edge(s, d, w):
                 new += 1
+        if before is not None:
+            obs_hooks.publish_store_delta("gt", self.stats.delta(before))
         return new
 
     def delete_edge(self, src: int, dst: int) -> bool:
@@ -183,10 +187,13 @@ class GraphTinker:
     def delete_batch(self, edges: np.ndarray) -> int:
         """Delete a batch of edges; return how many actually existed."""
         edges = np.asarray(edges, dtype=np.int64)
+        before = self.stats.snapshot() if obs_hooks.enabled else None
         deleted = 0
         for s, d in zip(edges[:, 0].tolist(), edges[:, 1].tolist()):
             if self.delete_edge(s, d):
                 deleted += 1
+        if before is not None:
+            obs_hooks.publish_store_delta("gt", self.stats.delta(before))
         return deleted
 
     def delete_vertex(self, src: int) -> int:

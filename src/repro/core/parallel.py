@@ -32,6 +32,7 @@ from repro.core.graphtinker import GraphTinker
 from repro.core.hashing import partition_of_array
 from repro.core.stats import AccessStats
 from repro.errors import ConfigError
+from repro.obs import hooks as obs_hooks
 
 
 class PartitionedStore:
@@ -79,6 +80,7 @@ class PartitionedStore:
             before = inst.stats.snapshot()
             inst.insert_batch(sub)
             deltas.append(inst.stats.delta(before))
+        self._publish(deltas)
         return deltas
 
     def delete_batch(self, edges: np.ndarray) -> list[AccessStats]:
@@ -88,7 +90,20 @@ class PartitionedStore:
             before = inst.stats.snapshot()
             inst.delete_batch(sub)
             deltas.append(inst.stats.delta(before))
+        self._publish(deltas)
         return deltas
+
+    def _publish(self, deltas: Sequence[AccessStats]) -> None:
+        """Publish a batch's aggregate delta under the ``part.`` prefix."""
+        if not obs_hooks.enabled:
+            return
+        merged = AccessStats()
+        for delta in deltas:
+            merged += delta
+        obs_hooks.publish_store_delta("part", merged)
+        from repro.obs.metrics import get_registry
+
+        get_registry().gauge("part.partitions").set(self.n_partitions)
 
     # ------------------------------------------------------------------ #
     @property
@@ -118,7 +133,7 @@ class PartitionedStore:
         """Aggregate counters across all instances."""
         merged = AccessStats()
         for inst in self.instances:
-            merged.merge(inst.stats)
+            merged += inst.stats
         return merged
 
     def check_invariants(self) -> None:

@@ -88,6 +88,21 @@ class AccessStats:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def __iadd__(self, other: "AccessStats") -> "AccessStats":
+        """``stats += delta`` — in-place accumulation, same as :meth:`merge`."""
+        if not isinstance(other, AccessStats):
+            return NotImplemented
+        self.merge(other)
+        return self
+
+    def __add__(self, other: "AccessStats") -> "AccessStats":
+        """``a + b`` — a merged *copy*; neither operand is mutated."""
+        if not isinstance(other, AccessStats):
+            return NotImplemented
+        merged = self.snapshot()
+        merged.merge(other)
+        return merged
+
     def as_dict(self) -> dict[str, int]:
         """Return the counters as a plain dict (for reporting)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -31,6 +31,8 @@ from repro.engine import modes
 from repro.engine.gas import GASProgram
 from repro.engine.inconsistency import inconsistent_vertices
 from repro.errors import EngineError
+from repro.obs import hooks as obs_hooks
+from repro.obs.tracing import span as obs_span
 
 #: Engine mode-policy names.
 POLICY_FULL = "full"
@@ -246,21 +248,54 @@ class HybridEngine:
 
     def compute(self) -> ComputeResult:
         """Iterate the GAS program to a fixed point from the active set."""
-        result = ComputeResult()
-        iteration = 0
-        while self._active.size:
-            if iteration >= self.config.max_iterations:
-                raise EngineError(
-                    f"no fixed point within {self.config.max_iterations} iterations"
-                )
-            record = self._iterate_once(iteration, self._next_mode)
-            result.iterations.append(record)
-            iteration += 1
-        self.history.append(result)
+        with obs_span("engine.compute", stats=self.store.stats,
+                      program=self.program.name, policy=self.policy):
+            result = ComputeResult()
+            iteration = 0
+            while self._active.size:
+                if iteration >= self.config.max_iterations:
+                    raise EngineError(
+                        f"no fixed point within {self.config.max_iterations} iterations"
+                    )
+                record = self._iterate_once(iteration, self._next_mode)
+                result.iterations.append(record)
+                iteration += 1
+            self.history.append(result)
+        if obs_hooks.enabled and result.iterations:
+            self._publish_result(result)
         return result
 
+    _MODE_METRIC = {modes.FULL: "full", modes.INCREMENTAL: "incremental"}
+
+    def _publish_result(self, result: ComputeResult) -> None:
+        """Count the inference box's per-iteration mode decisions."""
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        for record in result.iterations:
+            suffix = self._MODE_METRIC.get(record.mode, record.mode)
+            registry.counter(f"engine.mode.{suffix}").inc()
+        registry.counter("engine.iterations").inc(result.n_iterations)
+        registry.counter("engine.edges_processed").inc(result.edges_processed)
+        last = result.iterations[-1].predictor
+        if last == last and last != float("inf"):  # skip NaN/inf predictors
+            registry.gauge("engine.predictor").set(last)
+
     def _iterate_once(self, index: int, mode: str) -> IterationRecord:
-        """One processing + apply phase in the given mode."""
+        """One processing + apply phase in the given mode.
+
+        Each iteration is one compute-mode decision; when tracing is on it
+        is recorded as an ``engine.<mode>`` span nested under the
+        enclosing ``engine.compute`` span.
+        """
+        with obs_span(f"engine.{mode}", stats=self.store.stats,
+                      iteration=index) as sp:
+            record = self._iterate_once_inner(index, mode)
+            sp.set_attr("n_active", record.n_active)
+            sp.set_attr("edges_processed", record.edges_processed)
+        return record
+
+    def _iterate_once_inner(self, index: int, mode: str) -> IterationRecord:
         program = self.program
         store = self.store
         before = store.stats.snapshot()

@@ -1,0 +1,85 @@
+"""Observability layer: tracing, metrics, exporters, logging.
+
+``repro.obs`` is the one place the reproduction looks when it needs to
+*see* itself run: where a Robin-Hood displacement cascade burned its
+block accesses, which hybrid-engine iterations went incremental, how a
+batch's :class:`~repro.core.stats.AccessStats` delta decomposes.  The
+layer is **off by default** and costs one flag check per batch while
+down, so the cost-model numbers the benchmarks report are never
+distorted (DESIGN.md §1).
+
+Typical use::
+
+    import repro.obs as obs
+
+    obs.enable()
+    with obs.span("load", stats=gt.stats, dataset="hollywood_like"):
+        gt.insert_batch(edges)
+    print(obs.render_span_tree(obs.get_tracer().roots))
+    print(obs.registry_to_prometheus(obs.get_registry()))
+
+See docs/observability.md for the span-tree model, the metric naming
+convention, and the exporter formats.
+"""
+
+from repro.obs.export import (
+    parse_prometheus,
+    registry_from_jsonl,
+    registry_to_jsonl,
+    registry_to_prometheus,
+    registry_to_table,
+    render_span_tree,
+    trace_from_jsonl,
+    trace_to_jsonl,
+    trace_to_table,
+)
+from repro.obs.hooks import (
+    disable,
+    enable,
+    enabled_scope,
+    is_enabled,
+    publish_store_delta,
+)
+from repro.obs.log import configure_logging, get_logger, kv
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracing import Span, Tracer, get_tracer, set_tracer, span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "disable",
+    "enable",
+    "enabled_scope",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "is_enabled",
+    "kv",
+    "parse_prometheus",
+    "publish_store_delta",
+    "registry_from_jsonl",
+    "registry_to_jsonl",
+    "registry_to_prometheus",
+    "registry_to_table",
+    "render_span_tree",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "trace_from_jsonl",
+    "trace_to_jsonl",
+    "trace_to_table",
+]

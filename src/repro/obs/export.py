@@ -1,0 +1,261 @@
+"""Exporters: render trace trees and metric registries for consumption.
+
+Three output shapes, matching the three consumers the ROADMAP cares
+about:
+
+* **JSONL** — one JSON object per span / per instrument, for offline
+  analysis and for shipping to log pipelines.  Lossless: the
+  corresponding ``*_from_jsonl`` parsers round-trip the data.
+* **Prometheus text exposition** — ``# HELP`` / ``# TYPE`` + samples,
+  histogram buckets as cumulative ``_bucket{le="..."}`` rows, so a scrape
+  endpoint can serve the registry verbatim.
+* **Human tables and trees** — reusing
+  :class:`repro.bench.reporting.Table` so observability output matches
+  the benchmark harness's greppable style.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.bench.reporting import Table
+from repro.core.stats import AccessStats
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Span
+
+
+# --------------------------------------------------------------------- #
+# trace tree → JSONL / table / tree text
+# --------------------------------------------------------------------- #
+def _span_record(span: Span, span_id: int, parent_id: int | None) -> dict:
+    record: dict[str, object] = {
+        "id": span_id,
+        "parent": parent_id,
+        "name": span.name,
+        "start": span.start,
+        "duration": span.duration,
+        "attrs": span.attrs,
+    }
+    if span.stats_delta is not None:
+        record["stats"] = {
+            k: v for k, v in span.stats_delta.as_dict().items() if v
+        }
+    return record
+
+
+def trace_to_jsonl(roots: Sequence[Span]) -> str:
+    """Serialise a trace forest as JSONL (pre-order, parent ids)."""
+    lines: list[str] = []
+    next_id = 0
+
+    def emit(span: Span, parent_id: int | None) -> None:
+        nonlocal next_id
+        span_id = next_id
+        next_id += 1
+        lines.append(json.dumps(_span_record(span, span_id, parent_id),
+                                sort_keys=True))
+        for child in span.children:
+            emit(child, span_id)
+
+    for root in roots:
+        emit(root, None)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def trace_from_jsonl(text: str) -> list[Span]:
+    """Rebuild the trace forest written by :func:`trace_to_jsonl`."""
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        stats = record.get("stats")
+        span = Span(
+            name=record["name"],
+            attrs=dict(record.get("attrs", {})),
+            start=float(record["start"]),
+            duration=float(record["duration"]),
+            stats_delta=AccessStats(**stats) if stats is not None else None,
+        )
+        by_id[int(record["id"])] = span
+        parent = record.get("parent")
+        if parent is None:
+            roots.append(span)
+        else:
+            by_id[int(parent)].children.append(span)
+    return roots
+
+
+def trace_to_table(roots: Sequence[Span]) -> Table:
+    """Flatten a trace forest into a fixed-width :class:`Table`."""
+    table = Table(
+        "trace spans",
+        ["span", "wall_ms", "block_accesses", "edges_inserted", "attrs"],
+    )
+    for root in roots:
+        for depth, span in root.walk():
+            delta = span.merged_delta()
+            attrs = ",".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+            table.add_row([
+                "  " * depth + span.name,
+                span.duration * 1e3,
+                delta.total_block_accesses,
+                delta.edges_inserted,
+                attrs or "-",
+            ])
+    return table
+
+
+def render_span_tree(roots: Sequence[Span]) -> str:
+    """Human tree view: nesting, wall time, block-access delta."""
+    lines: list[str] = []
+    for root in roots:
+        for depth, span in root.walk():
+            delta = span.merged_delta()
+            attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+            lines.append(
+                f"{'  ' * depth}{span.name}"
+                f"  [{span.duration * 1e3:.2f} ms,"
+                f" {delta.total_block_accesses} block accesses]"
+                + (f"  {attrs}" if attrs else "")
+            )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# registry → Prometheus text / JSONL / table
+# --------------------------------------------------------------------- #
+def _prom_name(name: str) -> str:
+    """Dotted metric name → Prometheus-legal name (dots become ``_``)."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def registry_to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for inst in registry.instruments():
+        name = _prom_name(inst.name)
+        if inst.help:
+            lines.append(f"# HELP {name} {inst.help}")
+        lines.append(f"# TYPE {name} {inst.kind}")
+        if isinstance(inst, Histogram):
+            for bound, cumulative in inst.cumulative_counts():
+                lines.append(
+                    f'{name}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f"{name}_sum {_prom_value(inst.total)}")
+            lines.append(f"{name}_count {inst.count}")
+        else:
+            lines.append(f"{name} {_prom_value(inst.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse :func:`registry_to_prometheus` output back into plain data.
+
+    Returns ``{prom_name: {"type": ..., "value": ...}}`` for scalars and
+    ``{"type": "histogram", "buckets": {le: cumulative}, "sum": ...,
+    "count": ...}`` for histograms — enough for round-trip tests and for
+    scrapers that only need values.
+    """
+    out: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(None, 3)
+            types[name] = kind
+            entry: dict[str, object] = {"type": kind}
+            if kind == "histogram":
+                entry["buckets"] = {}
+            out[name] = entry
+            continue
+        if line.startswith("#"):
+            continue
+        sample, value_text = line.rsplit(None, 1)
+        value = float(value_text)
+        if "{" in sample:
+            base, label_part = sample.split("{", 1)
+            le = label_part.rstrip("}").split("=", 1)[1].strip('"')
+            if base.endswith("_bucket"):
+                out[base[: -len("_bucket")]]["buckets"][le] = int(value)
+            continue
+        for suffix in ("_sum", "_count"):
+            base = sample[: -len(suffix)] if sample.endswith(suffix) else None
+            if base is not None and types.get(base) == "histogram":
+                out[base][suffix[1:]] = value
+                break
+        else:
+            out.setdefault(sample, {"type": types.get(sample, "untyped")})
+            out[sample]["value"] = value
+    return out
+
+
+def registry_to_jsonl(registry: MetricsRegistry) -> str:
+    """Serialise the registry as JSONL (one instrument per line)."""
+    lines: list[str] = []
+    for inst in registry.instruments():
+        record: dict[str, object] = {
+            "name": inst.name,
+            "kind": inst.kind,
+            "help": inst.help,
+        }
+        if isinstance(inst, Histogram):
+            record["buckets"] = list(inst.buckets)
+            record["bucket_counts"] = list(inst.bucket_counts)
+            record["count"] = inst.count
+            record["sum"] = inst.total
+            record["max"] = inst.max_value
+        else:
+            record["value"] = inst.value
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_from_jsonl(text: str) -> MetricsRegistry:
+    """Rebuild a registry written by :func:`registry_to_jsonl`.
+
+    Restores instrument state directly (bypassing the enabled-flag gate),
+    so exported registries round-trip regardless of the master switch.
+    """
+    registry = MetricsRegistry()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        name, help_ = record["name"], record.get("help", "")
+        if record["kind"] == "counter":
+            registry.counter(name, help_).value = float(record["value"])
+        elif record["kind"] == "gauge":
+            registry.gauge(name, help_).value = float(record["value"])
+        else:
+            hist = registry.histogram(name, help_, buckets=record["buckets"])
+            hist.bucket_counts = [int(n) for n in record["bucket_counts"]]
+            hist.count = int(record["count"])
+            hist.total = float(record["sum"])
+            hist.max_value = float(record["max"])
+    return registry
+
+
+def registry_to_table(registry: MetricsRegistry) -> Table:
+    """Counters/gauges/histogram summaries as a fixed-width table."""
+    table = Table("metrics", ["metric", "kind", "value", "detail"])
+    for inst in registry.instruments():
+        if isinstance(inst, Histogram):
+            detail = f"count={inst.count} mean={inst.mean:.3f} max={inst.max_value:g}"
+            table.add_row([inst.name, inst.kind, inst.total, detail])
+        else:
+            table.add_row([inst.name, inst.kind, inst.value, "-"])
+    return table

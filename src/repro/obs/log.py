@@ -1,0 +1,64 @@
+"""Structured logging setup shared by every CLI command.
+
+One call to :func:`configure_logging` installs a single stream handler on
+the ``repro`` logger hierarchy with a fixed, greppable format::
+
+    2026-08-06T12:00:00 INFO repro.cli | loaded 48000 edges dataset=hollywood_like
+
+Key/value context goes through :func:`kv` so messages stay one-line
+parseable.  Repeat calls reconfigure the level in place (idempotent —
+safe from tests and from each subcommand), and nothing is installed on
+the root logger, so embedding applications keep control of their own
+logging.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Levels the CLI exposes via ``--log-level``.
+LEVELS: tuple[str, ...] = ("debug", "info", "warning")
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s | %(message)s"
+_DATEFMT = "%Y-%m-%dT%H:%M:%S"
+_HANDLER_NAME = "repro-obs"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Logger under the ``repro`` hierarchy (``repro`` itself if empty)."""
+    return logging.getLogger(f"repro.{name}" if name else "repro")
+
+
+def configure_logging(level: str = "warning",
+                      stream=None) -> logging.Logger:
+    """Install (or re-level) the ``repro`` stream handler; return the root
+    ``repro`` logger."""
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; expected one of {LEVELS}")
+    logger = get_logger()
+    logger.setLevel(getattr(logging, level.upper()))
+    logger.propagate = False
+    handler = next(
+        (h for h in logger.handlers if h.get_name() == _HANDLER_NAME), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.set_name(_HANDLER_NAME)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        logger.addHandler(handler)
+    else:
+        # Rebind on every call: the process's stderr may have been
+        # redirected (tests, daemonisation) since the handler was made.
+        # Direct assignment, not setStream(): the prior stream may
+        # already be closed, and setStream() would flush it.
+        handler.stream = stream or sys.stderr
+    return logger
+
+
+def kv(message: str, **context: object) -> str:
+    """Append ``key=value`` context to a log message, sorted for grep."""
+    if not context:
+        return message
+    suffix = " ".join(f"{k}={v}" for k, v in sorted(context.items()))
+    return f"{message} {suffix}"

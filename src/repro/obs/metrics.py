@@ -1,0 +1,204 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Instruments follow a dotted naming convention (``gt.rhh.swaps``,
+``engine.mode.incremental``, ``stinger.block.random_reads`` — see
+docs/observability.md) and live in a process-wide
+:class:`MetricsRegistry`.  Stores and the hybrid engine publish into the
+registry through the cheap hooks in :mod:`repro.obs.hooks`; nothing is
+recorded while the master switch is down.
+
+:class:`Histogram` generalises :class:`~repro.core.stats.ProbeHistogram`
+(running count/total/max and ``mean``) with fixed, Prometheus-style
+cumulative bucket boundaries so distributions — probe distances, batch
+costs, span durations — can be exported, not just summarised.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Iterable, Mapping, Sequence
+
+from repro.obs import hooks
+
+#: Default histogram boundaries — powers of two, matching the
+#: block-granularity quantities (probe distances, per-batch block counts)
+#: the subsystem mostly measures.
+DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class Counter:
+    """Monotonically increasing count (e.g. ``gt.rhh.swaps``)."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        if hooks.enabled:
+            self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (e.g. ``engine.predictor``)."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if hooks.enabled:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if hooks.enabled:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Fixed-boundary histogram with running count/sum/max.
+
+    ``buckets`` are upper bounds of cumulative buckets (an implicit
+    ``+Inf`` bucket is always present), exactly as Prometheus renders
+    them.  The running ``count``/``total``/``max_value``/``mean`` mirror
+    :class:`~repro.core.stats.ProbeHistogram`, which this class
+    generalises.
+    """
+
+    __slots__ = ("name", "help", "buckets", "bucket_counts", "count", "total",
+                 "max_value")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +Inf last
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    def record(self, value: float) -> None:
+        if not hooks.enabled:
+            return
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative_counts(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` rows, ``+Inf`` last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip((*self.buckets, float("inf")), self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        return out
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Thread-safe name → instrument map with get-or-create accessors."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Instrument] = {}
+
+    def _get_or_create(self, name: str, cls, **kwargs) -> Instrument:
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name, **kwargs)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {inst.kind}"
+                )
+            return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(name, Histogram, help=help, buckets=buckets)
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._instruments
+
+    def get(self, name: str) -> Instrument | None:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def instruments(self) -> list[Instrument]:
+        """All instruments, sorted by name (stable export order)."""
+        with self._lock:
+            return [self._instruments[k] for k in sorted(self._instruments)]
+
+    def collect(self) -> dict[str, float | Mapping[str, float]]:
+        """Flat snapshot: counters/gauges → value, histograms → summary."""
+        out: dict[str, float | Mapping[str, float]] = {}
+        for inst in self.instruments():
+            if isinstance(inst, Histogram):
+                out[inst.name] = {
+                    "count": float(inst.count),
+                    "sum": inst.total,
+                    "max": inst.max_value,
+                    "mean": inst.mean,
+                }
+            else:
+                out[inst.name] = inst.value
+        return out
+
+    def reset(self) -> None:
+        """Forget every instrument (tests and fresh CLI runs)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+#: Process-wide default registry the hot-path hooks publish into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (returns the previous one)."""
+    global _REGISTRY
+    prior = _REGISTRY
+    _REGISTRY = registry
+    return prior

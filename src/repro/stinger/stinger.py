@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.config import StingerConfig
 from repro.core.pool import STINGER_CELL_DTYPE, BlockPool
 from repro.core.stats import AccessStats
+from repro.obs import hooks as obs_hooks
 from repro.errors import VertexNotFoundError
 
 #: Slot-state sentinels in the ``dst`` field.
@@ -166,11 +167,14 @@ class Stinger:
             raise ValueError("vertex ids must be non-negative")
         if weights is None:
             weights = np.ones(edges.shape[0], dtype=np.float64)
+        before = self.stats.snapshot() if obs_hooks.enabled else None
         new = 0
         for s, d, w in zip(edges[:, 0].tolist(), edges[:, 1].tolist(),
                            np.asarray(weights, dtype=np.float64).tolist()):
             if self.insert_edge(s, d, w):
                 new += 1
+        if before is not None:
+            obs_hooks.publish_store_delta("stinger", self.stats.delta(before))
         return new
 
     def delete_edge(self, src: int, dst: int) -> bool:
@@ -199,10 +203,13 @@ class Stinger:
     def delete_batch(self, edges: np.ndarray) -> int:
         """Delete a batch of edges; returns how many existed."""
         edges = np.asarray(edges, dtype=np.int64)
+        before = self.stats.snapshot() if obs_hooks.enabled else None
         deleted = 0
         for s, d in zip(edges[:, 0].tolist(), edges[:, 1].tolist()):
             if self.delete_edge(s, d):
                 deleted += 1
+        if before is not None:
+            obs_hooks.publish_store_delta("stinger", self.stats.delta(before))
         return deleted
 
     def delete_vertex(self, src: int) -> int:

@@ -87,3 +87,64 @@ class TestFigures:
         files = list(tmp_path.glob("*.csv"))
         assert len(files) == 1
         assert "GT+CAL" in files[0].read_text()
+
+
+class TestTrace:
+    def test_prints_span_tree_and_cross_check(self, capsys):
+        assert main(["trace", "--edges", "3000", "--batches", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out
+        assert "insert_batch" in out
+        assert "engine.compute" in out
+        assert "span-delta cross-check" in out
+        assert "WARNING" not in out
+
+    def test_leaves_obs_disabled_afterwards(self):
+        import repro.obs as obs
+
+        assert main(["trace", "--edges", "2000", "--batches", "2"]) == 0
+        assert not obs.is_enabled()
+
+    def test_writes_exports(self, tmp_path, capsys):
+        jsonl = tmp_path / "trace.jsonl"
+        prom = tmp_path / "metrics.prom"
+        assert main(["trace", "--edges", "2000", "--batches", "2",
+                     "--jsonl", str(jsonl), "--prometheus", str(prom)]) == 0
+        import repro.obs as obs
+
+        roots = obs.trace_from_jsonl(jsonl.read_text())
+        assert roots and roots[0].name == "trace"
+        parsed = obs.parse_prometheus(prom.read_text())
+        assert "gt_edges_inserted" in parsed
+
+    def test_positional_dataset(self, capsys):
+        assert main(["trace", "rmat_1m_10m", "--edges", "2000",
+                     "--batches", "2"]) == 0
+
+
+class TestLogLevel:
+    @pytest.mark.parametrize("argv", [
+        ["datasets"],
+        ["load", "--edges", "2000", "--batches", "2",
+         "--systems", "graphtinker"],
+        ["analytics", "--edges", "2000"],
+        ["probe", "--edges", "2000"],
+        ["trace", "--edges", "2000", "--batches", "2"],
+    ])
+    def test_every_subcommand_accepts_log_level(self, capsys, argv):
+        assert main([argv[0], "--log-level", "info", *argv[1:]]) == 0
+
+    def test_generate_accepts_log_level(self, tmp_path):
+        assert main(["generate", str(tmp_path / "e.txt"), "--scale", "8",
+                     "--edges", "100", "--log-level", "debug"]) == 0
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["datasets", "--log-level", "loud"])
+
+    def test_info_level_logs_to_stderr(self, capsys):
+        assert main(["load", "--edges", "2000", "--batches", "2",
+                     "--systems", "graphtinker", "--log-level", "info"]) == 0
+        err = capsys.readouterr().err
+        assert "insertion run finished" in err
+        assert "repro.cli" in err

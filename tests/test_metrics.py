@@ -41,6 +41,27 @@ class TestLoadStability:
     def test_empty(self):
         assert load_stability([]) == 0.0
 
+    def test_single_element_series(self):
+        """Regression: a 1-element series has no reference-to-last gap;
+        it must not index past the reference clamp (len - 2 == -1)."""
+        assert load_stability([2.0]) == 0.0
+        assert load_stability([2.0], reference_index=0) == 0.0
+        assert load_stability([0.0]) == 0.0
+
+    def test_numpy_array_input(self):
+        """Regression: ndarray input used to hit the ambiguous-truth-value
+        TypeError in the empty-series guard."""
+        series = np.array([2.0, 1.9, 1.8, 1.7, 1.6, 1.4, 1.2, 1.0])
+        assert load_stability(series) == pytest.approx((1.6 - 1.0) / 1.6)
+        assert load_stability(np.array([2.0])) == 0.0
+        assert load_stability(np.array([])) == 0.0
+
+    def test_generator_input(self):
+        assert load_stability(x for x in [2.0, 1.0]) == pytest.approx(0.5)
+
+    def test_negative_reference_index_clamped(self):
+        assert load_stability([2.0, 1.0], reference_index=-5) == pytest.approx(0.5)
+
 
 class TestRunBatched:
     def test_measures_each_batch(self):

@@ -1,0 +1,152 @@
+"""Round-trip tests for the JSONL / Prometheus / Table exporters."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.core.stats import AccessStats
+from repro.obs.export import (
+    parse_prometheus,
+    registry_from_jsonl,
+    registry_to_jsonl,
+    registry_to_prometheus,
+    registry_to_table,
+    render_span_tree,
+    trace_from_jsonl,
+    trace_to_jsonl,
+    trace_to_table,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture
+def trace_roots():
+    """A two-level recorded trace with stats deltas on the leaves."""
+    t = Tracer()
+    prior_t = obs.set_tracer(t)
+    obs.enable()
+    try:
+        stats = AccessStats()
+        with obs.span("run", dataset="demo"):
+            with obs.span("insert_batch", stats=stats, batch=0):
+                stats.workblock_fetches += 4
+                stats.edges_inserted += 2
+            with obs.span("insert_batch", stats=stats, batch=1):
+                stats.workblock_fetches += 6
+    finally:
+        obs.disable()
+        obs.set_tracer(prior_t)
+    return t.roots
+
+
+@pytest.fixture
+def registry():
+    r = MetricsRegistry()
+    with obs.enabled_scope():
+        r.counter("gt.rhh.swaps", "Robin Hood displacement swaps").inc(7)
+        r.gauge("engine.predictor").set(0.015)
+        h = r.histogram("gt.probe.distance", "FIND probe cost",
+                        buckets=(1, 2, 4))
+        for v in (1, 1, 3, 9):
+            h.record(v)
+    return r
+
+
+class TestTraceJsonl:
+    def test_every_line_is_json(self, trace_roots):
+        text = trace_to_jsonl(trace_roots)
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)
+
+    def test_round_trip_preserves_tree(self, trace_roots):
+        back = trace_from_jsonl(trace_to_jsonl(trace_roots))
+        assert len(back) == 1
+        root = back[0]
+        assert root.name == "run"
+        assert root.attrs == {"dataset": "demo"}
+        assert [c.name for c in root.children] == ["insert_batch", "insert_batch"]
+        assert [c.attrs["batch"] for c in root.children] == [0, 1]
+
+    def test_round_trip_preserves_stats_deltas(self, trace_roots):
+        back = trace_from_jsonl(trace_to_jsonl(trace_roots))
+        deltas = [c.stats_delta for c in back[0].children]
+        assert deltas[0].workblock_fetches == 4
+        assert deltas[0].edges_inserted == 2
+        assert deltas[1].workblock_fetches == 6
+        assert back[0].merged_delta().workblock_fetches == 10
+
+    def test_round_trip_preserves_durations(self, trace_roots):
+        back = trace_from_jsonl(trace_to_jsonl(trace_roots))
+        originals = [s.duration for _, s in trace_roots[0].walk()]
+        restored = [s.duration for _, s in back[0].walk()]
+        assert restored == originals
+
+    def test_empty_forest(self):
+        assert trace_to_jsonl([]) == ""
+        assert trace_from_jsonl("") == []
+
+
+class TestTraceHuman:
+    def test_tree_rendering_indents_children(self, trace_roots):
+        text = render_span_tree(trace_roots)
+        lines = text.splitlines()
+        assert lines[0].startswith("run")
+        assert lines[1].startswith("  insert_batch")
+        assert "block accesses" in lines[0]
+
+    def test_table_has_one_row_per_span(self, trace_roots):
+        table = trace_to_table(trace_roots)
+        assert len(table.rows) == 3
+        assert "span" in table.columns
+
+
+class TestPrometheus:
+    def test_text_format_shape(self, registry):
+        text = registry_to_prometheus(registry)
+        assert "# TYPE gt_rhh_swaps counter" in text
+        assert "# HELP gt_rhh_swaps Robin Hood displacement swaps" in text
+        assert "gt_rhh_swaps 7" in text
+        assert '# TYPE gt_probe_distance histogram' in text
+        assert 'gt_probe_distance_bucket{le="+Inf"} 4' in text
+        assert "gt_probe_distance_count 4" in text
+
+    def test_round_trip(self, registry):
+        parsed = parse_prometheus(registry_to_prometheus(registry))
+        assert parsed["gt_rhh_swaps"] == {"type": "counter", "value": 7.0}
+        assert parsed["engine_predictor"] == {"type": "gauge", "value": 0.015}
+        hist = parsed["gt_probe_distance"]
+        assert hist["type"] == "histogram"
+        assert hist["buckets"] == {"1": 2, "2": 2, "4": 3, "+Inf": 4}
+        assert hist["sum"] == 14.0
+        assert hist["count"] == 4.0
+
+    def test_empty_registry(self):
+        assert registry_to_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}
+
+
+class TestRegistryJsonl:
+    def test_round_trip(self, registry):
+        back = registry_from_jsonl(registry_to_jsonl(registry))
+        assert back.collect() == registry.collect()
+        hist = back.get("gt.probe.distance")
+        assert hist.buckets == (1.0, 2.0, 4.0)
+        assert hist.bucket_counts == [2, 0, 1, 1]
+        assert hist.max_value == 9
+
+    def test_round_trip_survives_disabled_switch(self, registry):
+        assert not obs.is_enabled()
+        back = registry_from_jsonl(registry_to_jsonl(registry))
+        assert back.get("gt.rhh.swaps").value == 7
+
+
+class TestRegistryTable:
+    def test_rows_and_histogram_detail(self, registry):
+        table = registry_to_table(registry)
+        rendered = table.render()
+        assert "gt.rhh.swaps" in rendered
+        assert "count=4" in rendered

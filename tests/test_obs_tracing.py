@@ -1,0 +1,159 @@
+"""Tests for repro.obs.tracing: spans, nesting, gating, thread safety."""
+
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.core.stats import AccessStats
+from repro.obs.tracing import Span, Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    prior = obs.set_tracer(t)
+    obs.enable()
+    yield t
+    obs.disable()
+    obs.set_tracer(prior)
+
+
+class TestDisabledByDefault:
+    def test_master_switch_starts_down(self):
+        assert not obs.is_enabled()
+
+    def test_span_records_nothing_when_disabled(self):
+        t = Tracer()
+        prior = obs.set_tracer(t)
+        try:
+            assert not obs.is_enabled()
+            with obs.span("ignored") as sp:
+                sp.set_attr("x", 1)  # no-op span accepts attrs silently
+            assert t.roots == []
+        finally:
+            obs.set_tracer(prior)
+
+    def test_enabled_scope_restores(self):
+        assert not obs.is_enabled()
+        with obs.enabled_scope():
+            assert obs.is_enabled()
+        assert not obs.is_enabled()
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self, tracer):
+        with obs.span("outer"):
+            with obs.span("inner_a"):
+                pass
+            with obs.span("inner_b"):
+                pass
+        assert [r.name for r in tracer.roots] == ["outer"]
+        assert [c.name for c in tracer.roots[0].children] == ["inner_a", "inner_b"]
+
+    def test_wall_time_recorded(self, tracer):
+        with obs.span("timed"):
+            pass
+        assert tracer.roots[0].duration >= 0
+
+    def test_attrs_and_set_attr(self, tracer):
+        with obs.span("s", k=1) as sp:
+            sp.set_attr("late", "v")
+        assert tracer.roots[0].attrs == {"k": 1, "late": "v"}
+
+    def test_stats_delta_brackets_span_body(self, tracer):
+        stats = AccessStats()
+        stats.random_block_reads = 10
+        with obs.span("s", stats=stats):
+            stats.random_block_reads += 7
+        delta = tracer.roots[0].stats_delta
+        assert delta.random_block_reads == 7
+        # the bracket must not mutate the live counters
+        assert stats.random_block_reads == 17
+
+    def test_merged_delta_sums_children(self, tracer):
+        stats = AccessStats()
+        with obs.span("parent"):
+            with obs.span("a", stats=stats):
+                stats.rhh_swaps += 2
+            with obs.span("b", stats=stats):
+                stats.rhh_swaps += 3
+        assert tracer.roots[0].merged_delta().rhh_swaps == 5
+
+    def test_walk_preorder_with_depths(self, tracer):
+        with obs.span("root"):
+            with obs.span("child"):
+                with obs.span("grandchild"):
+                    pass
+        walked = list(tracer.roots[0].walk())
+        assert [(d, s.name) for d, s in walked] == [
+            (0, "root"), (1, "child"), (2, "grandchild")
+        ]
+
+    def test_find_by_name(self, tracer):
+        with obs.span("batch"):
+            pass
+        with obs.span("batch"):
+            pass
+        assert len(tracer.find("batch")) == 2
+
+    def test_reset_drops_roots(self, tracer):
+        with obs.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+    def test_span_recorded_even_when_body_raises(self, tracer):
+        with pytest.raises(RuntimeError):
+            with obs.span("failing"):
+                raise RuntimeError("boom")
+        assert [r.name for r in tracer.roots] == ["failing"]
+
+
+class TestSampling:
+    def test_sample_every_records_every_nth_root(self):
+        t = Tracer(sample_every=3)
+        prior = obs.set_tracer(t)
+        obs.enable()
+        try:
+            for _ in range(7):
+                with obs.span("root"):
+                    with obs.span("child"):
+                        pass
+        finally:
+            obs.disable()
+            obs.set_tracer(prior)
+        assert len(t.roots) == 3  # roots 0, 3, 6
+        assert all(len(r.children) == 1 for r in t.roots)
+
+    def test_sample_every_validates(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+
+
+class TestThreadSafety:
+    def test_threads_build_independent_subtrees(self, tracer):
+        barrier = threading.Barrier(4)
+
+        def work(i):
+            barrier.wait()
+            with obs.span(f"thread{i}"):
+                for _ in range(50):
+                    with obs.span("leaf"):
+                        pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(r.name for r in tracer.roots) == [
+            "thread0", "thread1", "thread2", "thread3"
+        ]
+        assert all(len(r.children) == 50 for r in tracer.roots)
+
+
+class TestSpanDataclass:
+    def test_n_descendants(self):
+        root = Span("r", children=[Span("a", children=[Span("b")]), Span("c")])
+        assert root.n_descendants == 3

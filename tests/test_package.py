@@ -48,6 +48,12 @@ PUBLIC_MODULES = [
     "repro.bench.harness",
     "repro.bench.metrics",
     "repro.bench.reporting",
+    "repro.obs",
+    "repro.obs.export",
+    "repro.obs.hooks",
+    "repro.obs.log",
+    "repro.obs.metrics",
+    "repro.obs.tracing",
     "repro.cli",
     "repro.errors",
 ]
@@ -70,8 +76,8 @@ class TestExports:
         found = {m.name for m in pkgutil.iter_modules(repro.__path__, "repro.")}
         assert found <= {
             "repro.core", "repro.stinger", "repro.engine", "repro.workloads",
-            "repro.bench", "repro.baselines", "repro.cli", "repro.errors",
-            "repro.__main__",
+            "repro.bench", "repro.baselines", "repro.obs", "repro.cli",
+            "repro.errors", "repro.__main__",
         }, found
 
 

@@ -1,5 +1,7 @@
 """Unit tests for AccessStats instrumentation bookkeeping."""
 
+import pytest
+
 from repro.core.stats import AccessStats, ProbeHistogram
 
 
@@ -53,6 +55,53 @@ class TestAccessStats:
         s.cells_scanned = 100  # CPU-side: not a block access
         assert s.total_block_accesses == 21
 
+    def test_delta_of_fresh_snapshot_is_all_zero(self):
+        s = AccessStats()
+        snap = s.snapshot()
+        assert all(v == 0 for v in s.delta(snap).as_dict().values())
+
+    def test_snapshot_delta_merge_round_trip(self):
+        """merge(snapshot) + merge(delta) reconstructs the current counts."""
+        s = AccessStats()
+        s.workblock_fetches = 3
+        snap = s.snapshot()
+        s.workblock_fetches = 11
+        s.cal_updates = 2
+        rebuilt = AccessStats()
+        rebuilt.merge(snap)
+        rebuilt.merge(s.delta(snap))
+        assert rebuilt.as_dict() == s.as_dict()
+
+    def test_add_returns_merged_copy(self):
+        a, b = AccessStats(), AccessStats()
+        a.rhh_swaps = 2
+        b.rhh_swaps = 3
+        b.hash_lookups = 1
+        c = a + b
+        assert c.rhh_swaps == 5 and c.hash_lookups == 1
+        assert a.rhh_swaps == 2 and b.rhh_swaps == 3  # operands untouched
+
+    def test_iadd_accumulates_in_place(self):
+        a, b = AccessStats(), AccessStats()
+        a.cells_scanned = 4
+        b.cells_scanned = 6
+        a += b
+        assert a.cells_scanned == 10
+        assert b.cells_scanned == 6
+
+    def test_sum_with_start(self):
+        deltas = []
+        for n in (1, 2, 3):
+            d = AccessStats()
+            d.edges_inserted = n
+            deltas.append(d)
+        total = sum(deltas, start=AccessStats())
+        assert total.edges_inserted == 6
+
+    def test_add_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            AccessStats() + 1
+
     def test_reset_then_merge_restores_snapshot(self):
         """The audit-path idiom: reset + merge(snapshot) is a restore."""
         s = AccessStats()
@@ -82,3 +131,26 @@ class TestProbeHistogram:
         h.record(4)
         h.reset()
         assert h.count == 0 and h.max_probe == 0
+
+    def test_reset_restores_empty_mean(self):
+        h = ProbeHistogram()
+        h.record(4)
+        h.reset()
+        assert h.mean == 0.0
+
+    def test_record_after_reset_starts_fresh(self):
+        h = ProbeHistogram()
+        for p in (9, 9, 9):
+            h.record(p)
+        h.reset()
+        h.record(1)
+        assert h.count == 1
+        assert h.mean == 1.0
+        assert h.max_probe == 1
+
+    def test_max_tracks_only_increases(self):
+        h = ProbeHistogram()
+        for p in (5, 2, 4):
+            h.record(p)
+        assert h.max_probe == 5
+        assert h.total == 11
