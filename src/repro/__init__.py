@@ -22,6 +22,7 @@ from repro.errors import (
     EdgeNotFoundError,
     EngineError,
     ReproError,
+    ServiceError,
     VertexNotFoundError,
     WorkloadError,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "GTConfig",
     "GraphTinker",
     "ReproError",
+    "ServiceError",
     "StingerConfig",
     "VertexNotFoundError",
     "WorkloadError",

@@ -11,9 +11,19 @@ Gives shell access to the library's main workflows without writing code:
 * ``probe`` — print the probe-distance comparison (the O(log n) claim).
 * ``trace`` — run a small traced load+BFS with :mod:`repro.obs` enabled
   and dump the span tree / metric exports.
+* ``serve`` — drive an RMAT stream through the durable
+  :class:`~repro.service.GraphService` (WAL + checkpoints), optionally
+  killing the writer mid-stream (``--kill-at``) and resuming a crashed
+  run (``--resume``).
+* ``recover`` — rebuild a service directory's store from its latest
+  checkpoint plus the WAL tail; report what was replayed.
 
 Every command accepts ``--edges`` to bound run time and ``--log-level``
 to control :mod:`repro.obs.log` verbosity.
+
+Exit codes are uniform across subcommands: **0** success, **1** any
+repro-domain failure (:class:`~repro.errors.ReproError`, including a
+simulated ``serve --kill-at`` crash), **2** usage errors (argparse).
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from pathlib import Path
 import numpy as np
 
 import repro.obs as obs
+from repro.errors import ReproError, WorkloadError
 from repro.bench.costmodel import DEFAULT_COST_MODEL as MODEL
 from repro.bench.harness import insertion_run, make_store
 from repro.bench.reporting import Table
@@ -197,6 +208,87 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Durable-service driver: RMAT stream -> GraphService (WAL-backed).
+
+    The input stream is fully determined by ``--scale/--edges/--seed``,
+    and every WAL record carries the cumulative input-row count, so a
+    killed run (real or ``--kill-at``-simulated) resumes exactly where
+    its durable prefix ended: ``--resume`` recovers, skips the consumed
+    prefix, and feeds the rest.
+    """
+    # The service layer is imported lazily: plain bench/trace invocations
+    # never load it (ROADMAP: nothing new on the hot path).
+    from repro.service import FaultInjector, GraphService, SimulatedCrash
+
+    data_dir = Path(args.data_dir)
+    has_state = data_dir.is_dir() and any(data_dir.iterdir())
+    if has_state and not args.resume:
+        raise WorkloadError(
+            f"{data_dir} already holds service state; pass --resume to "
+            f"continue it (or point --data-dir at a fresh directory)"
+        )
+    if args.resume and not has_state:
+        raise WorkloadError(f"{data_dir}: nothing to resume")
+
+    edges = rmat_edges(args.scale, args.edges, seed=args.seed)
+    injector = FaultInjector(args.kill_at) if args.kill_at is not None else None
+    service, rec = GraphService.open(
+        data_dir,
+        batch_edges=args.batch_size,
+        flush_interval=args.flush_interval,
+        sync=args.sync,
+        checkpoint_every=args.checkpoint_every,
+        injector=injector,
+    )
+    offset = rec.cum_edges
+    if args.resume:
+        print(f"resumed at input offset {offset}: {rec.store.n_edges} edges "
+              f"recovered (checkpoint seq {rec.checkpoint_seq}, "
+              f"replayed {rec.replayed_records} WAL records)")
+    log.info(kv("serve starting", edges=edges.shape[0], offset=offset,
+                batch_size=args.batch_size, sync=args.sync))
+    try:
+        for start in range(offset, edges.shape[0], args.batch_size):
+            service.submit_insert(edges[start:start + args.batch_size])
+        service.flush_now()
+    except ReproError:
+        if not isinstance(service.fatal_error, SimulatedCrash):
+            raise
+    if service.fatal_error is not None:
+        print(f"writer crashed: {service.fatal_error}", file=sys.stderr)
+        print(f"durable input rows: {service.cum_input_edges} of "
+              f"{edges.shape[0]}", file=sys.stderr)
+        service.close()
+        return 1
+    service.close(checkpoint=args.final_checkpoint)
+    print(f"final edges: {service.n_edges}")
+    print(f"last seq: {service.applied_seq}  "
+          f"input consumed: {service.cum_input_edges}  "
+          f"flushes: {service.n_flushes}")
+    return 0
+
+
+def cmd_recover(args) -> int:
+    """Recover a service directory; print (and optionally checkpoint) it."""
+    from repro.service import CheckpointManager, recover
+
+    result = recover(Path(args.data_dir))
+    print(f"recovered edges: {result.store.n_edges}")
+    print(f"checkpoint seq: {result.checkpoint_seq}  "
+          f"last seq: {result.last_seq}  "
+          f"replayed records: {result.replayed_records}  "
+          f"replayed edges: {result.replayed_edges}  "
+          f"input consumed: {result.cum_edges}")
+    if result.torn_offset is not None:
+        print(f"truncated torn WAL tail at byte {result.torn_offset}")
+    if args.checkpoint:
+        path = CheckpointManager(args.data_dir).write(
+            result.store, result.last_seq, result.cum_edges)
+        print(f"wrote checkpoint {path}")
+    return 0
+
+
 def cmd_probe(args) -> int:
     edges = _edges_for(args)
     gt = make_store("graphtinker")
@@ -280,6 +372,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the metrics as Prometheus text")
     p.set_defaults(func=cmd_trace)
 
+    p = sub.add_parser("serve", parents=[common],
+                       help="drive an RMAT stream through the durable "
+                            "WAL-backed graph service")
+    p.add_argument("--data-dir", required=True,
+                   help="service directory (WAL segments + checkpoints)")
+    p.add_argument("--scale", type=int, default=10, help="RMAT scale")
+    p.add_argument("--edges", type=int, default=20_000,
+                   help="total input rows in the stream")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch-size", type=int, default=512,
+                   help="input rows per submitted batch")
+    p.add_argument("--flush-interval", type=float, default=0.02,
+                   help="latency flush trigger in seconds")
+    p.add_argument("--sync", default="batch",
+                   choices=["always", "batch", "never"],
+                   help="WAL fsync policy")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="auto-checkpoint every N applied WAL records")
+    p.add_argument("--final-checkpoint", action="store_true",
+                   help="checkpoint the end state on clean shutdown")
+    p.add_argument("--kill-at", type=int, default=None, metavar="BYTES",
+                   help="simulate a writer kill at this WAL byte offset")
+    p.add_argument("--resume", action="store_true",
+                   help="recover the directory and continue its stream")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("recover", parents=[common],
+                       help="recover a service directory (checkpoint + WAL)")
+    p.add_argument("--data-dir", required=True)
+    p.add_argument("--checkpoint", action="store_true",
+                   help="write a fresh checkpoint of the recovered state")
+    p.set_defaults(func=cmd_recover)
+
     p = sub.add_parser("figures", parents=[common],
                        help="export plot-ready CSV figure data")
     p.add_argument("output_dir")
@@ -291,9 +416,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point.
+
+    Exit codes: 0 success, 1 repro-domain error (:class:`ReproError`),
+    2 usage error (argparse raises ``SystemExit(2)`` itself).
+    """
     args = build_parser().parse_args(argv)
     configure_logging(getattr(args, "log_level", "warning"))
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

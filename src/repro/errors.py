@@ -39,3 +39,14 @@ class EngineError(ReproError):
 
 class WorkloadError(ReproError, ValueError):
     """A workload/dataset request could not be satisfied."""
+
+
+class ServiceError(ReproError):
+    """The durable graph service hit an unrecoverable condition.
+
+    Raised for corrupt write-ahead-log records (CRC mismatch with intact
+    data after them), a sequence gap between a checkpoint and the
+    surviving WAL tail, queue-full backpressure timeouts, and submissions
+    to a stopped service.  Messages name the offending file/offset or
+    sequence numbers so an operator can act on them.
+    """

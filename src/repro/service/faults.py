@@ -1,0 +1,77 @@
+"""Fault injection: kill the WAL writer at an exact byte offset.
+
+The recovery guarantees only matter if they hold at *every* byte the
+writer can die on.  This module lets the test suite (and ``python -m
+repro serve --kill-at``) pick a global WAL byte offset and simulate a
+process kill exactly there: the write that crosses the offset lands only
+partially (bytes up to the offset reach the OS), then
+:class:`SimulatedCrash` propagates — leaving a torn record on disk, just
+as ``kill -9`` mid-``write(2)`` would.
+
+The injector counts bytes across segment rotations, so an offset can
+land inside any segment, inside a record header, inside a payload, or
+even inside the 8-byte segment magic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.service.wal import WriteAheadLog
+
+
+class SimulatedCrash(ReproError):
+    """The injected kill point was reached; the writer 'process' died."""
+
+
+class FaultInjector:
+    """Shared byte budget across every file the faulty WAL opens."""
+
+    def __init__(self, crash_at_bytes: int):
+        if crash_at_bytes < 0:
+            raise ValueError("crash offset must be non-negative")
+        self.crash_at_bytes = crash_at_bytes
+        self.written = 0
+        self.fired = False
+
+    def wrap(self, file) -> "CrashableFile":
+        return CrashableFile(file, self)
+
+
+class CrashableFile:
+    """File proxy that truncates the fatal write and raises."""
+
+    def __init__(self, file, injector: FaultInjector):
+        self._file = file
+        self._injector = injector
+
+    def write(self, data: bytes) -> int:
+        inj = self._injector
+        room = inj.crash_at_bytes - inj.written
+        if len(data) <= room:
+            inj.written += len(data)
+            return self._file.write(data)
+        # The kill lands mid-write: only the prefix reaches the OS.
+        if room > 0:
+            self._file.write(data[:room])
+            inj.written = inj.crash_at_bytes
+        self._file.flush()
+        inj.fired = True
+        raise SimulatedCrash(
+            f"simulated kill at WAL byte offset {inj.crash_at_bytes} "
+            f"(write of {len(data)} bytes torn after {max(room, 0)})"
+        )
+
+    def __getattr__(self, name):
+        return getattr(self._file, name)
+
+
+class FaultyWriteAheadLog(WriteAheadLog):
+    """A :class:`WriteAheadLog` whose segment files die on schedule."""
+
+    def __init__(self, *args, injector: FaultInjector, **kwargs):
+        self.injector = injector
+        super().__init__(*args, **kwargs)
+
+    def _open_segment(self) -> None:
+        super()._open_segment()
+        self._file = self.injector.wrap(self._file)

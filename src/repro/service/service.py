@@ -1,0 +1,479 @@
+"""GraphService: a durable, batching ingest/query frontend.
+
+The service turns the library's batch-oriented store into something a
+multi-threaded application can talk to:
+
+* **Ingest** — :meth:`GraphService.submit_insert` / ``submit_delete``
+  enqueue work from any thread and return a :class:`Ticket`.  A single
+  flusher thread coalesces queued requests into micro-batches — flushing
+  when pending rows reach ``batch_edges`` (size trigger) or the oldest
+  request has waited ``flush_interval`` seconds (latency trigger) — and
+  commits each micro-batch **WAL-first**: append + sync, then apply to
+  the store, then complete the tickets.  A ticket that resolves is
+  durable.
+* **Backpressure** — the queue is bounded at ``queue_limit`` pending
+  requests; a full queue blocks submitters up to ``submit_timeout``
+  seconds, then raises :class:`~repro.errors.ServiceError`.
+* **Reads** — degree/neighbors/edge-count/analytics take the store lock
+  the flusher applies under, so a reader never observes half of a
+  micro-batch (snapshot consistency at batch granularity).
+* **Durability lifecycle** — :meth:`checkpoint` snapshots the store with
+  its WAL cursor and prunes the log behind it (``checkpoint_every``
+  automates this per applied record count);
+  :meth:`GraphService.open` recovers a directory (checkpoint + WAL tail
+  replay) and resumes serving where the last process stopped.
+
+Instrumented through :mod:`repro.obs` (``service.queue.*``,
+``service.flush.*``, ``service.wal.*`` plus a span per flush) — all
+no-ops while observability is down, like every other hook in the repo.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.config import GTConfig
+from repro.core.graphtinker import GraphTinker
+from repro.errors import ServiceError
+from repro.obs import hooks as obs_hooks
+from repro.service.checkpoint import CheckpointManager
+from repro.service.recovery import RecoveryResult, recover
+from repro.service.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    OP_DELETE,
+    OP_INSERT,
+    WriteAheadLog,
+)
+
+#: Histogram buckets for flush latencies, in milliseconds.
+_FLUSH_MS_BUCKETS = (0.5, 1, 2, 5, 10, 25, 50, 100, 250, 1000)
+
+
+class Ticket:
+    """Completion handle for one submitted batch.
+
+    :meth:`wait` blocks until the batch's micro-batch flush has made it
+    durable (WAL-synced and applied), returning the WAL sequence that
+    carries it — or re-raising the failure that killed the flush.
+    """
+
+    __slots__ = ("_event", "seq", "error")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.seq: int | None = None
+        self.error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> int:
+        if not self._event.wait(timeout):
+            raise ServiceError(f"batch not durable after {timeout}s")
+        if self.error is not None:
+            raise self.error
+        return self.seq
+
+    def _resolve(self, seq: int | None, error: BaseException | None) -> None:
+        self.seq = seq
+        self.error = error
+        self._event.set()
+
+
+class _Request:
+    __slots__ = ("op", "edges", "weights", "ticket", "ts")
+
+    def __init__(self, op: int, edges: np.ndarray, weights: np.ndarray | None):
+        self.op = op
+        self.edges = edges
+        self.weights = weights
+        self.ticket = Ticket()
+        self.ts = time.monotonic()
+
+
+class GraphService:
+    """Durable frontend over one GraphTinker store (see module docstring).
+
+    Build fresh services on *clean* directories directly; anything with
+    history goes through :meth:`GraphService.open`, which recovers first.
+    The constructor refuses a store/WAL cursor mismatch rather than
+    silently double-applying the log.
+    """
+
+    def __init__(self, directory: str | Path, *,
+                 store: GraphTinker | None = None,
+                 config: GTConfig | None = None,
+                 wal: WriteAheadLog | None = None,
+                 batch_edges: int = 2048,
+                 flush_interval: float = 0.05,
+                 queue_limit: int = 256,
+                 submit_timeout: float = 5.0,
+                 sync: str = "batch",
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 checkpoint_every: int = 0,
+                 checkpoint_keep: int = 2,
+                 applied_seq: int = 0,
+                 cum_edges: int = 0,
+                 injector=None):
+        if batch_edges < 1:
+            raise ServiceError("batch_edges must be >= 1")
+        if queue_limit < 1:
+            raise ServiceError("queue_limit must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._store = store if store is not None else GraphTinker(
+            config if config is not None else GTConfig())
+        if wal is not None:
+            self._wal = wal
+        elif injector is not None:
+            from repro.service.faults import FaultyWriteAheadLog
+
+            self._wal = FaultyWriteAheadLog(
+                self.directory, segment_bytes=segment_bytes, sync=sync,
+                min_last_seq=applied_seq, min_cum_edges=cum_edges,
+                injector=injector)
+        else:
+            self._wal = WriteAheadLog(
+                self.directory, segment_bytes=segment_bytes, sync=sync,
+                min_last_seq=applied_seq, min_cum_edges=cum_edges)
+        if self._wal.last_seq != applied_seq:
+            raise ServiceError(
+                f"{self.directory}: WAL ends at sequence {self._wal.last_seq} "
+                f"but the store reflects {applied_seq} — recover first "
+                f"(GraphService.open) instead of constructing directly"
+            )
+        self.batch_edges = batch_edges
+        self.flush_interval = flush_interval
+        self.queue_limit = queue_limit
+        self.submit_timeout = submit_timeout
+        self.sync_policy = sync
+        self.checkpoint_every = checkpoint_every
+        self._ckpt = CheckpointManager(self.directory, keep=checkpoint_keep)
+        self._applied_seq = applied_seq
+        self._cum_edges = cum_edges
+        self._last_ckpt_seq = applied_seq
+
+        self._store_lock = threading.RLock()
+        self._cond = threading.Condition()
+        self._queue: deque[_Request] = deque()
+        self._pending_edges = 0
+        self._flushing = False
+        self._force_flush = False
+        self._stop = False
+        self._fatal: BaseException | None = None
+        self.n_flushes = 0
+        self._thread = threading.Thread(target=self._flusher_loop,
+                                        name="graph-service-flusher",
+                                        daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(cls, directory: str | Path, config: GTConfig | None = None,
+             **kwargs) -> tuple["GraphService", RecoveryResult]:
+        """Recover ``directory`` and serve from the recovered state.
+
+        Returns ``(service, recovery_result)`` so drivers can see what
+        was replayed (and where a deterministic input stream resumes:
+        ``recovery_result.cum_edges``).  A fresh/empty directory recovers
+        to an empty store at sequence 0.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        result = recover(directory, config=config)
+        service = cls(directory, store=result.store,
+                      applied_seq=result.last_seq, cum_edges=result.cum_edges,
+                      **kwargs)
+        return service, result
+
+    @property
+    def fatal_error(self) -> BaseException | None:
+        """The failure that stopped the flusher, if any."""
+        return self._fatal
+
+    @property
+    def applied_seq(self) -> int:
+        """Last WAL sequence the store reflects."""
+        with self._cond:
+            return self._applied_seq
+
+    @property
+    def cum_input_edges(self) -> int:
+        """Total input rows made durable (the stream-resume offset)."""
+        with self._cond:
+            return self._cum_edges
+
+    def close(self, checkpoint: bool = False) -> None:
+        """Flush the queue, stop the flusher, close the WAL.
+
+        ``checkpoint=True`` additionally snapshots the final state (which
+        prunes the WAL down to nothing worth replaying).
+        """
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        self._thread.join()
+        if checkpoint and self._fatal is None:
+            self.checkpoint()
+        self._wal.close()
+
+    def __enter__(self) -> "GraphService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+    def submit_insert(self, edges: np.ndarray,
+                      weights: np.ndarray | None = None,
+                      timeout: float | None = None) -> Ticket:
+        """Enqueue an insert batch; returns its durability :class:`Ticket`."""
+        return self._submit(OP_INSERT, edges, weights, timeout)
+
+    def submit_delete(self, edges: np.ndarray,
+                      timeout: float | None = None) -> Ticket:
+        """Enqueue a delete batch; returns its durability :class:`Ticket`."""
+        return self._submit(OP_DELETE, edges, None, timeout)
+
+    def _submit(self, op: int, edges: np.ndarray,
+                weights: np.ndarray | None, timeout: float | None) -> Ticket:
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ServiceError("submitted edges must have shape (n, 2)")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape[0] != edges.shape[0]:
+                raise ServiceError("weights length must match edge count")
+        request = _Request(op, edges, weights)
+        timeout = self.submit_timeout if timeout is None else timeout
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            self._check_alive()
+            while len(self._queue) >= self.queue_limit:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    if obs_hooks.enabled:
+                        obs.get_registry().counter(
+                            "service.queue.rejected").inc()
+                    raise ServiceError(
+                        f"queue full ({self.queue_limit} pending batches) "
+                        f"for {timeout}s — backpressure timeout; slow down "
+                        f"or raise queue_limit/batch_edges"
+                    )
+                self._check_alive()
+            self._check_alive()
+            self._queue.append(request)
+            self._pending_edges += edges.shape[0]
+            depth = len(self._queue)
+            self._cond.notify_all()
+        if obs_hooks.enabled:
+            registry = obs.get_registry()
+            registry.counter("service.queue.enqueued").inc()
+            registry.gauge("service.queue.depth").set(depth)
+        return request.ticket
+
+    def _check_alive(self) -> None:
+        if self._fatal is not None:
+            raise ServiceError(
+                f"service stopped after flush failure: {self._fatal}"
+            ) from self._fatal
+        if self._stop:
+            raise ServiceError("service is closed")
+
+    def flush_now(self, timeout: float | None = None) -> None:
+        """Block until everything currently queued is durable."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._force_flush = True
+            self._cond.notify_all()
+            while self._queue or self._flushing:
+                if self._fatal is not None:
+                    break
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise ServiceError(f"flush_now timed out after {timeout}s")
+                self._cond.wait(remaining)
+            if self._fatal is not None:
+                raise ServiceError(
+                    f"service stopped after flush failure: {self._fatal}"
+                ) from self._fatal
+
+    # ------------------------------------------------------------------ #
+    # flusher
+    # ------------------------------------------------------------------ #
+    def _flusher_loop(self) -> None:
+        while True:
+            with self._cond:
+                self._cond.wait_for(lambda: self._queue or self._stop)
+                if not self._queue:
+                    break  # stopping with a drained queue
+                deadline = self._queue[0].ts + self.flush_interval
+                self._cond.wait_for(
+                    lambda: (self._stop or self._force_flush
+                             or self._pending_edges >= self.batch_edges),
+                    timeout=max(0.0, deadline - time.monotonic()),
+                )
+                # Drain at most ~batch_edges rows (always at least one
+                # request): micro-batches stay bounded even when
+                # submitters outrun the flusher, so the WAL fills with
+                # incremental records instead of one giant one.
+                batch: list[_Request] = []
+                taken = 0
+                while self._queue and (not batch or taken < self.batch_edges):
+                    request = self._queue.popleft()
+                    batch.append(request)
+                    taken += request.edges.shape[0]
+                self._pending_edges -= taken
+                self._force_flush = bool(self._queue) and self._force_flush
+                self._flushing = True
+                self._cond.notify_all()
+            try:
+                self._flush(batch)
+            except Exception as exc:  # noqa: BLE001 - flusher is the fault wall
+                with self._cond:
+                    self._fatal = exc
+                    self._flushing = False
+                    for request in [*batch, *self._queue]:
+                        request.ticket._resolve(None, exc)
+                    self._queue.clear()
+                    self._pending_edges = 0
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self._flushing = False
+                self._cond.notify_all()
+
+    @staticmethod
+    def _coalesce(batch: list[_Request]) -> list[tuple[int, np.ndarray,
+                                                       np.ndarray | None,
+                                                       list[_Request]]]:
+        """Merge consecutive same-op requests (order preserved)."""
+        groups = []
+        for request in batch:
+            if groups and groups[-1][0] == request.op:
+                groups[-1][3].append(request)
+            else:
+                groups.append((request.op, None, None, [request]))
+        out = []
+        for op, _, _, members in groups:
+            edges = np.concatenate([m.edges for m in members]) \
+                if len(members) > 1 else members[0].edges
+            if op == OP_INSERT:
+                weights = np.concatenate([
+                    m.weights if m.weights is not None
+                    else np.ones(m.edges.shape[0], dtype=np.float64)
+                    for m in members
+                ]) if len(members) > 1 else members[0].weights
+            else:
+                weights = None
+            out.append((op, edges, weights, members))
+        return out
+
+    def _flush(self, batch: list[_Request]) -> None:
+        n_edges = sum(r.edges.shape[0] for r in batch)
+        start = time.monotonic()
+        with obs.span("service.flush", n_requests=len(batch), n_edges=n_edges):
+            groups = self._coalesce(batch)
+            # WAL first: nothing touches the store until the log carries it.
+            seqs: list[tuple[int, list[_Request]]] = []
+            for op, edges, weights, members in groups:
+                seq = self._wal.append(op, edges, weights)
+                seqs.append((seq, members))
+            if self.sync_policy == "batch":
+                self._wal.sync()
+            with self._store_lock:
+                for op, edges, weights, _ in groups:
+                    if op == OP_INSERT:
+                        self._store.insert_batch(edges, weights)
+                    else:
+                        self._store.delete_batch(edges)
+                with self._cond:
+                    self._applied_seq = self._wal.last_seq
+                    self._cum_edges = self._wal.cum_edges
+        for seq, members in seqs:
+            for request in members:
+                request.ticket._resolve(seq, None)
+        self.n_flushes += 1
+        if obs_hooks.enabled:
+            registry = obs.get_registry()
+            registry.counter("service.flush.batches").inc()
+            registry.counter("service.flush.edges").inc(n_edges)
+            registry.histogram("service.flush.requests").record(len(batch))
+            registry.histogram(
+                "service.flush.duration_ms", buckets=_FLUSH_MS_BUCKETS
+            ).record((time.monotonic() - start) * 1e3)
+            registry.gauge("service.queue.depth").set(len(self._queue))
+        if (self.checkpoint_every
+                and self._applied_seq - self._last_ckpt_seq >= self.checkpoint_every):
+            self.checkpoint()
+
+    # ------------------------------------------------------------------ #
+    # durability
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> Path:
+        """Snapshot the applied state and prune the WAL behind it."""
+        with self._store_lock:
+            with self._cond:
+                seq, cum = self._applied_seq, self._cum_edges
+            path = self._ckpt.write(self._store, seq, cum)
+            self._last_ckpt_seq = seq
+        if obs_hooks.enabled:
+            registry = obs.get_registry()
+            registry.counter("service.checkpoint.count").inc()
+            registry.gauge("service.checkpoint.seq").set(seq)
+        return path
+
+    # ------------------------------------------------------------------ #
+    # snapshot-consistent reads
+    # ------------------------------------------------------------------ #
+    @property
+    def n_edges(self) -> int:
+        with self._store_lock:
+            return self._store.n_edges
+
+    @property
+    def n_vertices(self) -> int:
+        with self._store_lock:
+            return self._store.n_vertices
+
+    def degree(self, src: int) -> int:
+        with self._store_lock:
+            return self._store.degree(src)
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        with self._store_lock:
+            return self._store.has_edge(src, dst)
+
+    def neighbors(self, src: int) -> tuple[np.ndarray, np.ndarray]:
+        with self._store_lock:
+            return self._store.neighbors(src)
+
+    def analytics_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        with self._store_lock:
+            return self._store.analytics_edges()
+
+    def analytics(self, program, *, roots=None, policy: str = "hybrid"):
+        """Run a GAS program over the current state via the hybrid engine.
+
+        Holds the store lock for the whole computation, so the result is
+        a consistent point-in-time answer even under concurrent ingest.
+        """
+        from repro.engine import HybridEngine
+
+        with self._store_lock:
+            engine = HybridEngine(self._store, program, policy=policy)
+            if roots is not None:
+                engine.reset(roots=roots)
+            else:
+                engine.reset()
+            return engine.compute()

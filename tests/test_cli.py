@@ -122,6 +122,85 @@ class TestTrace:
                      "--batches", "2"]) == 0
 
 
+class TestServe:
+    ARGS = ["--scale", "8", "--edges", "3000", "--batch-size", "200",
+            "--flush-interval", "0.005"]
+
+    def test_clean_run(self, tmp_path, capsys):
+        assert main(["serve", "--data-dir", str(tmp_path / "d"), *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "final edges:" in out
+        assert "input consumed: 3000" in out
+
+    def test_refuses_dirty_dir_without_resume(self, tmp_path, capsys):
+        d = str(tmp_path / "d")
+        assert main(["serve", "--data-dir", d, *self.ARGS]) == 0
+        assert main(["serve", "--data-dir", d, *self.ARGS]) == 1
+        assert "pass --resume" in capsys.readouterr().err
+
+    def test_resume_without_state_fails(self, tmp_path, capsys):
+        assert main(["serve", "--data-dir", str(tmp_path / "d"),
+                     "--resume", *self.ARGS]) == 1
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_kill_recover_resume_matches_clean_run(self, tmp_path, capsys):
+        clean, crashed = str(tmp_path / "clean"), str(tmp_path / "crashed")
+        assert main(["serve", "--data-dir", clean, *self.ARGS]) == 0
+        clean_out = capsys.readouterr().out
+        final_line = next(l for l in clean_out.splitlines()
+                          if l.startswith("final edges:"))
+
+        assert main(["serve", "--data-dir", crashed,
+                     "--kill-at", "30000", *self.ARGS]) == 1
+        err = capsys.readouterr().err
+        assert "writer crashed" in err
+
+        assert main(["recover", "--data-dir", crashed]) == 0
+        out = capsys.readouterr().out
+        assert "recovered edges:" in out
+
+        assert main(["serve", "--data-dir", crashed, "--resume",
+                     *self.ARGS]) == 0
+        resumed_out = capsys.readouterr().out
+        assert "resumed at input offset" in resumed_out
+        assert final_line in resumed_out
+
+    def test_final_checkpoint_and_recover(self, tmp_path, capsys):
+        d = str(tmp_path / "d")
+        assert main(["serve", "--data-dir", d, "--final-checkpoint",
+                     "--checkpoint-every", "3", *self.ARGS]) == 0
+        capsys.readouterr()
+        assert main(["recover", "--data-dir", d]) == 0
+        out = capsys.readouterr().out
+        assert "replayed records: 0" in out  # final checkpoint covers all
+
+
+class TestExitCodes:
+    def test_success_is_zero(self, capsys):
+        assert main(["datasets"]) == 0
+
+    def test_domain_error_is_one(self, tmp_path, capsys):
+        assert main(["recover", "--data-dir", str(tmp_path / "missing")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no such service directory" in err
+
+    def test_usage_error_is_two(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == 2
+
+    def test_missing_required_arg_is_two(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve"])  # --data-dir is required
+        assert exc.value.code == 2
+
+    def test_bad_choice_is_two(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["analytics", "--algorithm", "dijkstra"])
+        assert exc.value.code == 2
+
+
 class TestLogLevel:
     @pytest.mark.parametrize("argv", [
         ["datasets"],

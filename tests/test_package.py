@@ -54,6 +54,12 @@ PUBLIC_MODULES = [
     "repro.obs.log",
     "repro.obs.metrics",
     "repro.obs.tracing",
+    "repro.service",
+    "repro.service.wal",
+    "repro.service.checkpoint",
+    "repro.service.recovery",
+    "repro.service.service",
+    "repro.service.faults",
     "repro.cli",
     "repro.errors",
 ]
@@ -76,8 +82,8 @@ class TestExports:
         found = {m.name for m in pkgutil.iter_modules(repro.__path__, "repro.")}
         assert found <= {
             "repro.core", "repro.stinger", "repro.engine", "repro.workloads",
-            "repro.bench", "repro.baselines", "repro.obs", "repro.cli",
-            "repro.errors", "repro.__main__",
+            "repro.bench", "repro.baselines", "repro.obs", "repro.service",
+            "repro.cli", "repro.errors", "repro.__main__",
         }, found
 
 

@@ -9,6 +9,7 @@ from repro.stinger import Stinger
 from repro.workloads import rmat_edges
 from repro.workloads.persistence import (
     load_snapshot,
+    read_snapshot,
     restore_graphtinker,
     save_snapshot,
 )
@@ -56,8 +57,68 @@ class TestRoundtrip:
         gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2))
         path = tmp_path / "snap.npz"
         assert save_snapshot(gt, path) == 0
+        edges, weights = load_snapshot(path)
+        assert edges.shape == (0, 2)
+        assert weights.shape == (0,)
         restored = restore_graphtinker(path)
         assert restored.n_edges == 0
+        restored.check_invariants()
+
+
+class TestFormatV2:
+    def test_writes_v2_with_writer_config(self, populated, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_snapshot(populated, path)
+        snap = read_snapshot(path)
+        assert snap.version == 2
+        assert snap.writer_config == populated.config
+        assert snap.repro_version
+        assert snap.meta is None
+
+    def test_meta_roundtrip(self, populated, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_snapshot(populated, path, meta={"last_seq": 17, "note": "x"})
+        snap = read_snapshot(path)
+        assert snap.meta == {"last_seq": 17, "note": "x"}
+
+    def test_restore_with_writer_config(self, populated, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_snapshot(populated, path)
+        restored = restore_graphtinker(path, use_writer_config=True)
+        assert restored.config == populated.config
+        # Default behaviour is unchanged: receiving-store semantics.
+        assert restore_graphtinker(path).config == GTConfig()
+
+    def test_stinger_config_embedded(self, tmp_path, rng):
+        st = Stinger(StingerConfig(edgeblock_size=4))
+        st.insert_batch(np.array([[1, 2], [3, 4]]))
+        path = tmp_path / "snap.npz"
+        save_snapshot(st, path)
+        snap = read_snapshot(path)
+        assert snap.writer_config == StingerConfig(edgeblock_size=4)
+
+    def test_reads_v1_snapshots(self, tmp_path):
+        path = tmp_path / "v1.npz"
+        np.savez_compressed(
+            path,
+            format=np.array("repro-graph-snapshot-v1"),
+            src=np.array([1, 2], dtype=np.int64),
+            dst=np.array([3, 4], dtype=np.int64),
+            weight=np.array([1.0, 2.5]),
+        )
+        snap = read_snapshot(path)
+        assert snap.version == 1
+        assert snap.writer_config is None and snap.repro_version is None
+        gt = restore_graphtinker(path)
+        assert sorted(gt.edges()) == [(1, 3, 1.0), (2, 4, 2.5)]
+
+    def test_unknown_format_raises_actionably(self, tmp_path):
+        path = tmp_path / "v9.npz"
+        np.savez(path, format=np.array("repro-graph-snapshot-v9"),
+                 src=np.empty(0, np.int64), dst=np.empty(0, np.int64),
+                 weight=np.empty(0))
+        with pytest.raises(WorkloadError, match="unknown snapshot format"):
+            load_snapshot(path)
 
 
 class TestValidation:
@@ -73,3 +134,11 @@ class TestValidation:
         edges, weights = load_snapshot(path)
         assert edges.shape[0] == weights.shape[0] == populated.n_edges
         assert edges.shape[1] == 2
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, format=np.array("repro-graph-snapshot-v1"),
+                 src=np.array([1, 2], np.int64), dst=np.array([3, 4], np.int64),
+                 weight=np.array([1.0]))
+        with pytest.raises(WorkloadError, match="length mismatch"):
+            load_snapshot(path)
