@@ -17,6 +17,9 @@ Gives shell access to the library's main workflows without writing code:
   run (``--resume``).
 * ``recover`` — rebuild a service directory's store from its latest
   checkpoint plus the WAL tail; report what was replayed.
+* ``fsck`` — recover a service directory and audit the rebuilt store's
+  structural invariants (:mod:`repro.core.verify`); ``--repair``
+  self-heals, ``--corrupt N`` injects damage first (chaos testing).
 
 Every command accepts ``--edges`` to bound run time and ``--log-level``
 to control :mod:`repro.obs.log` verbosity.
@@ -232,7 +235,17 @@ def cmd_serve(args) -> int:
         raise WorkloadError(f"{data_dir}: nothing to resume")
 
     edges = rmat_edges(args.scale, args.edges, seed=args.seed)
-    injector = FaultInjector(args.kill_at) if args.kill_at is not None else None
+    injector = None
+    if args.kill_at is not None and args.fail_every:
+        raise WorkloadError("--kill-at and --fail-every are mutually exclusive")
+    if args.kill_at is not None:
+        injector = FaultInjector(args.kill_at)
+    elif args.fail_every:
+        from repro.service import TransientFaultInjector
+
+        injector = TransientFaultInjector(
+            fail_every=args.fail_every, fail_times=args.fail_times,
+            hard=args.hard_faults)
     service, rec = GraphService.open(
         data_dir,
         batch_edges=args.batch_size,
@@ -240,6 +253,9 @@ def cmd_serve(args) -> int:
         sync=args.sync,
         checkpoint_every=args.checkpoint_every,
         injector=injector,
+        max_retries=args.max_retries,
+        breaker_threshold=args.breaker_threshold,
+        shed_reads_at=args.shed_reads_at,
     )
     offset = rec.cum_edges
     if args.resume:
@@ -252,7 +268,14 @@ def cmd_serve(args) -> int:
         for start in range(offset, edges.shape[0], args.batch_size):
             service.submit_insert(edges[start:start + args.batch_size])
         service.flush_now()
-    except ReproError:
+    except ReproError as exc:
+        health = service.health()
+        if health["breaker"]["state"] == "open":
+            print(f"circuit breaker open: {exc}", file=sys.stderr)
+            print(f"durable input rows: {service.cum_input_edges} of "
+                  f"{edges.shape[0]}", file=sys.stderr)
+            service.close()
+            return 1
         if not isinstance(service.fatal_error, SimulatedCrash):
             raise
     if service.fatal_error is not None:
@@ -266,6 +289,8 @@ def cmd_serve(args) -> int:
     print(f"last seq: {service.applied_seq}  "
           f"input consumed: {service.cum_input_edges}  "
           f"flushes: {service.n_flushes}")
+    if injector is not None and hasattr(injector, "injected"):
+        print(f"injected transient faults: {injector.injected}")
     return 0
 
 
@@ -286,6 +311,54 @@ def cmd_recover(args) -> int:
         path = CheckpointManager(args.data_dir).write(
             result.store, result.last_seq, result.cum_edges)
         print(f"wrote checkpoint {path}")
+    return 0
+
+
+def cmd_fsck(args) -> int:
+    """Recover a service directory and audit its structural invariants.
+
+    Exit 0 when the store is clean (or ``--repair`` healed it back to
+    clean); exit 1 when violations remain.  ``--corrupt N`` injects N
+    random store corruptions after recovery — the chaos-testing loop:
+    corrupt -> fsck must flag it -> ``--repair`` must heal it.
+    """
+    from repro.service import CheckpointManager, StoreCorruptor, recover
+
+    result = recover(Path(args.data_dir), verify=None)
+    store = result.store
+    print(f"recovered {store.n_edges} edges "
+          f"(checkpoint seq {result.checkpoint_seq}, "
+          f"replayed {result.replayed_records} WAL records)")
+    if args.corrupt:
+        corruptor = StoreCorruptor(store, seed=args.corrupt_seed)
+        for injected in corruptor.corrupt_random(args.corrupt):
+            print(f"injected {injected.kind}: {injected.detail}")
+
+    report = store.fsck(level=args.level)
+    print(report.summary())
+    if report.ok:
+        return 0
+    shown = report.violations[:args.show]
+    for violation in shown:
+        print(f"  [{violation.kind}] vertex={violation.vertex} "
+              f"{violation.where}: {violation.detail}")
+    if len(report.violations) > len(shown):
+        print(f"  ... and {len(report.violations) - len(shown)} more")
+    if not args.repair:
+        return 1
+
+    repair = store.fsck(repair=True)
+    print(f"repair: {len(repair.rebuilt_vertices)} vertices rebuilt, "
+          f"{len(repair.recounted_vertices)} recounted, "
+          f"{repair.freed_blocks} blocks freed, "
+          f"{repair.sgh_fixes} SGH fixes")
+    print(f"post-repair: {repair.final.summary()}")
+    if not repair.ok:
+        return 1
+    if args.checkpoint:
+        path = CheckpointManager(args.data_dir).write(
+            store, result.last_seq, result.cum_edges)
+        print(f"wrote repaired checkpoint {path}")
     return 0
 
 
@@ -396,6 +469,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulate a writer kill at this WAL byte offset")
     p.add_argument("--resume", action="store_true",
                    help="recover the directory and continue its stream")
+    p.add_argument("--max-retries", type=int, default=0, metavar="N",
+                   help="retries (exp backoff + jitter) per WAL op on "
+                        "transient I/O errors")
+    p.add_argument("--breaker-threshold", type=int, default=0, metavar="N",
+                   help="open the circuit breaker after N consecutive "
+                        "flush failures (0 = fail-stop)")
+    p.add_argument("--shed-reads-at", type=int, default=0, metavar="DEPTH",
+                   help="reject reads when the ingest queue reaches this "
+                        "depth (0 = never shed)")
+    p.add_argument("--fail-every", type=int, default=0, metavar="N",
+                   help="inject a transient WAL fault on every Nth record")
+    p.add_argument("--fail-times", type=int, default=1, metavar="K",
+                   help="consecutive failures per faulty record before it "
+                        "clears (with --fail-every)")
+    p.add_argument("--hard-faults", action="store_true",
+                   help="faulty records never clear (drives the breaker "
+                        "open; with --fail-every)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("recover", parents=[common],
@@ -404,6 +494,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", action="store_true",
                    help="write a fresh checkpoint of the recovered state")
     p.set_defaults(func=cmd_recover)
+
+    p = sub.add_parser("fsck", parents=[common],
+                       help="audit a service directory's store integrity "
+                            "(optionally self-heal)")
+    p.add_argument("--data-dir", required=True)
+    p.add_argument("--level", default="full", choices=["quick", "full"],
+                   help="audit depth (default: full)")
+    p.add_argument("--repair", action="store_true",
+                   help="self-heal detected violations")
+    p.add_argument("--corrupt", type=int, default=0, metavar="N",
+                   help="inject N random corruptions first (chaos testing)")
+    p.add_argument("--corrupt-seed", type=int, default=0)
+    p.add_argument("--show", type=int, default=20, metavar="N",
+                   help="max violations to print (default: 20)")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="checkpoint the repaired store on success")
+    p.set_defaults(func=cmd_fsck)
 
     p = sub.add_parser("figures", parents=[common],
                        help="export plot-ready CSV figure data")

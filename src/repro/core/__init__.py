@@ -7,16 +7,30 @@ Public surface re-exported here:
 * :class:`~repro.core.parallel.PartitionedGraphTinker` — multi-instance
   interval-partitioned store (Sec. III.D).
 * :class:`~repro.core.stats.AccessStats` — instrumentation counters.
+* :func:`~repro.core.verify.verify_graph` / :func:`~repro.core.verify.
+  repair_graph` — the store fsck and its self-healing mode.
 """
 
 from repro.core.config import EngineConfig, GTConfig, StingerConfig
 from repro.core.graphtinker import GraphTinker
 from repro.core.stats import AccessStats
+from repro.core.verify import (
+    IntegrityViolation,
+    RepairReport,
+    VerifyReport,
+    repair_graph,
+    verify_graph,
+)
 
 __all__ = [
     "AccessStats",
     "EngineConfig",
     "GTConfig",
     "GraphTinker",
+    "IntegrityViolation",
+    "RepairReport",
     "StingerConfig",
+    "VerifyReport",
+    "repair_graph",
+    "verify_graph",
 ]

@@ -308,6 +308,19 @@ class GraphTinker:
             out["cal_blocks"] = self.cal.n_blocks
         return out
 
+    def fsck(self, level: str = "full", repair: bool = False):
+        """Audit (and optionally self-heal) this store's invariants.
+
+        Thin convenience over :func:`repro.core.verify.verify_graph` /
+        :func:`repro.core.verify.repair_graph`; imported lazily so the
+        hot path never pays for the verifier module.
+        """
+        from repro.core import verify as _verify
+
+        if repair:
+            return _verify.repair_graph(self)
+        return _verify.verify_graph(self, level=level)
+
     def check_invariants(self) -> None:
         """Internal consistency audit (used heavily by the test suite).
 

@@ -10,8 +10,9 @@ long-running deployment needs (docs/service.md):
   tail replay.
 * :mod:`repro.service.service` — :class:`GraphService`, the
   multi-threaded batching ingest/query frontend.
-* :mod:`repro.service.faults` — byte-exact writer kill injection for
-  crash testing.
+* :mod:`repro.service.faults` — fault injection: byte-exact writer
+  kills, scheduled transient WAL I/O errors, and in-memory store
+  corruption for fsck testing.
 
 Nothing in the core data-structure or benchmark paths imports this
 package; using the library without the service costs nothing.
@@ -25,10 +26,16 @@ from repro.service.checkpoint import (
     load_checkpoint,
 )
 from repro.service.faults import (
+    CorruptionError,
     CrashableFile,
     FaultInjector,
     FaultyWriteAheadLog,
+    FlakyWriteAheadLog,
+    InjectedCorruption,
+    InjectedWalFault,
     SimulatedCrash,
+    StoreCorruptor,
+    TransientFaultInjector,
 )
 from repro.service.recovery import RecoveryResult, recover
 from repro.service.service import GraphService, Ticket
@@ -47,15 +54,21 @@ from repro.service.wal import (
 __all__ = [
     "CheckpointInfo",
     "CheckpointManager",
+    "CorruptionError",
     "CrashableFile",
     "FaultInjector",
     "FaultyWriteAheadLog",
+    "FlakyWriteAheadLog",
     "GraphService",
+    "InjectedCorruption",
+    "InjectedWalFault",
     "OP_DELETE",
     "OP_INSERT",
     "RecoveryResult",
     "SimulatedCrash",
+    "StoreCorruptor",
     "Ticket",
+    "TransientFaultInjector",
     "WalRecord",
     "WriteAheadLog",
     "iter_records",

@@ -50,6 +50,12 @@ class RecoveryResult:
     skipped_records: int = 0
     torn_offset: int | None = None
     replayed_seqs: list[int] = field(default_factory=list)
+    #: Post-recovery fsck outcome (a ``repro.core.verify.VerifyReport``),
+    #: or ``None`` when verification was disabled.  Never raises: a CRC
+    #: check can only vouch for the *bytes* of a checkpoint, so recovery
+    #: audits the rebuilt structure and lets the caller decide whether a
+    #: violated store may serve.
+    fsck: object | None = None
 
 
 def _publish(result: RecoveryResult) -> None:
@@ -67,15 +73,24 @@ def _publish(result: RecoveryResult) -> None:
     registry.gauge("service.recovery.last_seq").set(result.last_seq)
     if result.torn_offset is not None:
         registry.counter("service.recovery.torn_truncated").inc()
+    if result.fsck is not None:
+        registry.gauge("service.recovery.fsck_violations").set(
+            len(result.fsck.violations))
 
 
 def recover(directory: str | Path, config: GTConfig | None = None,
-            ) -> RecoveryResult:
+            verify: str | None = "quick") -> RecoveryResult:
     """Rebuild the service store from ``directory``.
 
     ``config`` overrides the checkpoint's embedded writer config (useful
     to recover a delete-only log into a compacting store); with neither,
     paper defaults apply.
+
+    ``verify`` selects the bounded post-recovery fsck level (``"quick"``
+    by default — the vectorised degree/duplicate/count invariants;
+    ``"full"`` for the per-cell audit; ``None`` to skip).  The result
+    lands in :attr:`RecoveryResult.fsck`; a violated store is *returned*,
+    not raised — the caller (service, CLI) owns the serve/refuse call.
     """
     directory = Path(directory)
     if not directory.is_dir():
@@ -123,6 +138,11 @@ def recover(directory: str | Path, config: GTConfig | None = None,
             result.replayed_records += 1
             result.replayed_edges += record.n_edges
             result.replayed_seqs.append(record.seq)
+        if verify is not None:
+            from repro.core.verify import verify_graph
+
+            result.fsck = verify_graph(store, level=verify)
+            span.set_attr("fsck_violations", len(result.fsck.violations))
         span.set_attr("replayed_records", result.replayed_records)
         span.set_attr("checkpoint_seq", result.checkpoint_seq)
     _publish(result)

@@ -30,6 +30,7 @@ no-ops while observability is down, like every other hook in the repo.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from collections import deque
@@ -120,11 +121,21 @@ class GraphService:
                  checkpoint_keep: int = 2,
                  applied_seq: int = 0,
                  cum_edges: int = 0,
+                 max_retries: int = 0,
+                 retry_base: float = 0.01,
+                 retry_cap: float = 0.5,
+                 breaker_threshold: int = 0,
+                 breaker_reset: float = 1.0,
+                 shed_reads_at: int = 0,
                  injector=None):
         if batch_edges < 1:
             raise ServiceError("batch_edges must be >= 1")
         if queue_limit < 1:
             raise ServiceError("queue_limit must be >= 1")
+        if max_retries < 0:
+            raise ServiceError("max_retries must be >= 0")
+        if breaker_threshold < 0:
+            raise ServiceError("breaker_threshold must be >= 0")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._store = store if store is not None else GraphTinker(
@@ -132,9 +143,16 @@ class GraphService:
         if wal is not None:
             self._wal = wal
         elif injector is not None:
-            from repro.service.faults import FaultyWriteAheadLog
+            from repro.service.faults import (
+                FaultyWriteAheadLog,
+                FlakyWriteAheadLog,
+                TransientFaultInjector,
+            )
 
-            self._wal = FaultyWriteAheadLog(
+            wal_cls = (FlakyWriteAheadLog
+                       if isinstance(injector, TransientFaultInjector)
+                       else FaultyWriteAheadLog)
+            self._wal = wal_cls(
                 self.directory, segment_bytes=segment_bytes, sync=sync,
                 min_last_seq=applied_seq, min_cum_edges=cum_edges,
                 injector=injector)
@@ -154,10 +172,21 @@ class GraphService:
         self.submit_timeout = submit_timeout
         self.sync_policy = sync
         self.checkpoint_every = checkpoint_every
+        self.max_retries = max_retries
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+        self.shed_reads_at = shed_reads_at
         self._ckpt = CheckpointManager(self.directory, keep=checkpoint_keep)
         self._applied_seq = applied_seq
         self._cum_edges = cum_edges
         self._last_ckpt_seq = applied_seq
+
+        self._breaker_state = "closed"
+        self._breaker_failures = 0
+        self._breaker_opened_at = 0.0
+        self._last_fsck = None
 
         self._store_lock = threading.RLock()
         self._cond = threading.Condition()
@@ -178,6 +207,7 @@ class GraphService:
     # ------------------------------------------------------------------ #
     @classmethod
     def open(cls, directory: str | Path, config: GTConfig | None = None,
+             verify: str | None = "quick",
              **kwargs) -> tuple["GraphService", RecoveryResult]:
         """Recover ``directory`` and serve from the recovered state.
 
@@ -185,13 +215,21 @@ class GraphService:
         was replayed (and where a deterministic input stream resumes:
         ``recovery_result.cum_edges``).  A fresh/empty directory recovers
         to an empty store at sequence 0.
+
+        ``verify`` is the post-recovery fsck level (see
+        :func:`repro.service.recovery.recover`); its outcome lands in
+        ``recovery_result.fsck`` and in the service's :meth:`health`
+        snapshot.  A violated store still serves — refusing is the
+        caller's decision (``python -m repro fsck`` exists for that).
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        result = recover(directory, config=config)
+        result = recover(directory, config=config, verify=verify)
         service = cls(directory, store=result.store,
                       applied_seq=result.last_seq, cum_edges=result.cum_edges,
                       **kwargs)
+        if result.fsck is not None:
+            service._note_fsck(result.fsck)
         return service, result
 
     @property
@@ -259,6 +297,7 @@ class GraphService:
         deadline = time.monotonic() + timeout
         with self._cond:
             self._check_alive()
+            self._breaker_guard()
             while len(self._queue) >= self.queue_limit:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0 or not self._cond.wait(remaining):
@@ -290,6 +329,30 @@ class GraphService:
         if self._stop:
             raise ServiceError("service is closed")
 
+    def _breaker_guard(self) -> None:
+        """Fail fast while the breaker is open (call under ``_cond``).
+
+        After ``breaker_reset`` seconds of open time the breaker moves to
+        half-open: the guard lets one submission through and the next
+        flush becomes the probe — success re-closes the breaker, another
+        transient failure re-opens it with a fresh timer.
+        """
+        if self._breaker_state != "open":
+            return
+        elapsed = time.monotonic() - self._breaker_opened_at
+        if elapsed >= self.breaker_reset:
+            self._breaker_state = "half-open"
+            if obs_hooks.enabled:
+                obs.get_registry().counter("service.breaker.half_open").inc()
+            return
+        if obs_hooks.enabled:
+            obs.get_registry().counter("service.breaker.fast_fail").inc()
+        raise ServiceError(
+            f"circuit breaker open after {self._breaker_failures} "
+            f"consecutive flush failures; retry in "
+            f"{self.breaker_reset - elapsed:.2f}s"
+        )
+
     def flush_now(self, timeout: float | None = None) -> None:
         """Block until everything currently queued is durable."""
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -307,6 +370,10 @@ class GraphService:
                 raise ServiceError(
                     f"service stopped after flush failure: {self._fatal}"
                 ) from self._fatal
+            if self._breaker_state == "open":
+                raise ServiceError(
+                    f"circuit breaker open after {self._breaker_failures} "
+                    f"consecutive flush failures; queued work was rejected")
 
     # ------------------------------------------------------------------ #
     # flusher
@@ -339,19 +406,91 @@ class GraphService:
                 self._cond.notify_all()
             try:
                 self._flush(batch)
+            except OSError as exc:
+                # Transient I/O kind (real disk errors and injected ones
+                # travel as OSError).  With a breaker configured the
+                # service survives: this batch fails, the breaker counts
+                # it, and enough consecutive failures trip it open.
+                # Without a breaker, keep PR 2's fail-stop semantics.
+                if self.breaker_threshold > 0:
+                    self._flush_failed(batch, exc)
+                    continue
+                self._go_fatal(batch, exc)
+                return
             except Exception as exc:  # noqa: BLE001 - flusher is the fault wall
-                with self._cond:
-                    self._fatal = exc
-                    self._flushing = False
-                    for request in [*batch, *self._queue]:
-                        request.ticket._resolve(None, exc)
-                    self._queue.clear()
-                    self._pending_edges = 0
-                    self._cond.notify_all()
+                self._go_fatal(batch, exc)
                 return
             with self._cond:
                 self._flushing = False
+                if self._breaker_failures or self._breaker_state != "closed":
+                    self._breaker_state = "closed"
+                    self._breaker_failures = 0
+                    if obs_hooks.enabled:
+                        obs.get_registry().counter(
+                            "service.breaker.closed").inc()
                 self._cond.notify_all()
+
+    def _go_fatal(self, batch: list[_Request], exc: BaseException) -> None:
+        with self._cond:
+            self._fatal = exc
+            self._flushing = False
+            for request in [*batch, *self._queue]:
+                request.ticket._resolve(None, exc)
+            self._queue.clear()
+            self._pending_edges = 0
+            self._cond.notify_all()
+
+    def _flush_failed(self, batch: list[_Request], exc: BaseException) -> None:
+        """Record one non-fatal flush failure; maybe trip the breaker."""
+        with self._cond:
+            self._flushing = False
+            for request in batch:
+                request.ticket._resolve(None, exc)
+            self._breaker_failures += 1
+            tripped = self._breaker_failures >= self.breaker_threshold
+            if tripped:
+                self._breaker_state = "open"
+                self._breaker_opened_at = time.monotonic()
+                # Everything still queued would hit the same wall; fail
+                # it fast rather than letting tickets hang.
+                error = ServiceError(
+                    f"circuit breaker opened after "
+                    f"{self._breaker_failures} consecutive flush "
+                    f"failures (last: {exc})")
+                error.__cause__ = exc
+                for request in self._queue:
+                    request.ticket._resolve(None, error)
+                self._queue.clear()
+                self._pending_edges = 0
+            self._cond.notify_all()
+        if obs_hooks.enabled:
+            registry = obs.get_registry()
+            registry.counter("service.breaker.failures").inc()
+            if tripped:
+                registry.counter("service.breaker.opened").inc()
+
+    def _wal_op(self, fn):
+        """Run one WAL operation with exponential backoff + jitter.
+
+        Only ``OSError`` (the transient I/O kind) is retried; anything
+        else propagates immediately.  ``max_retries == 0`` (the default)
+        makes this a plain call.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except OSError:
+                if attempt >= self.max_retries:
+                    raise
+                delay = min(self.retry_cap, self.retry_base * (2 ** attempt))
+                # Full jitter on [delay/2, delay]: desynchronises retry
+                # storms without ever collapsing the backoff to zero.
+                delay *= 0.5 + random.random() / 2
+                attempt += 1
+                if obs_hooks.enabled:
+                    obs.get_registry().counter("service.wal.retries").inc()
+                time.sleep(delay)
 
     @staticmethod
     def _coalesce(batch: list[_Request]) -> list[tuple[int, np.ndarray,
@@ -385,12 +524,18 @@ class GraphService:
         with obs.span("service.flush", n_requests=len(batch), n_edges=n_edges):
             groups = self._coalesce(batch)
             # WAL first: nothing touches the store until the log carries it.
+            # Each WAL call retries individually: a failed append rolls its
+            # partial bytes back and does not advance the sequence, so
+            # re-running exactly that append is safe — retrying the whole
+            # flush would duplicate the records that already landed.
             seqs: list[tuple[int, list[_Request]]] = []
             for op, edges, weights, members in groups:
-                seq = self._wal.append(op, edges, weights)
+                seq = self._wal_op(
+                    lambda op=op, edges=edges, weights=weights:
+                    self._wal.append(op, edges, weights))
                 seqs.append((seq, members))
             if self.sync_policy == "batch":
-                self._wal.sync()
+                self._wal_op(self._wal.sync)
             with self._store_lock:
                 for op, edges, weights, _ in groups:
                     if op == OP_INSERT:
@@ -434,8 +579,84 @@ class GraphService:
         return path
 
     # ------------------------------------------------------------------ #
+    # integrity & health
+    # ------------------------------------------------------------------ #
+    def _note_fsck(self, report) -> None:
+        with self._cond:
+            self._last_fsck = {
+                "level": report.level,
+                "ok": report.ok,
+                "violations": len(report.violations),
+                "at": time.time(),
+            }
+        if obs_hooks.enabled:
+            obs.get_registry().gauge("service.fsck.violations").set(
+                len(report.violations))
+
+    def run_fsck(self, level: str = "quick", repair: bool = False):
+        """Audit the live store under the store lock; record the outcome.
+
+        Returns the :class:`~repro.core.verify.VerifyReport` (or
+        :class:`~repro.core.verify.RepairReport` with ``repair=True``);
+        the summary also lands in :meth:`health`.
+        """
+        with self._store_lock:
+            result = self._store.fsck(level=level, repair=repair)
+        self._note_fsck(result.final if repair else result)
+        return result
+
+    def health(self) -> dict:
+        """Point-in-time service status snapshot (cheap; lock-light).
+
+        ``ok`` means: flusher alive, breaker closed, and the last fsck
+        (if any ran) found nothing.
+        """
+        with self._cond:
+            snapshot = {
+                "queue_depth": len(self._queue),
+                "pending_edges": self._pending_edges,
+                "queue_limit": self.queue_limit,
+                "applied_seq": self._applied_seq,
+                "cum_edges": self._cum_edges,
+                "n_flushes": self.n_flushes,
+                "breaker": {
+                    "state": self._breaker_state,
+                    "consecutive_failures": self._breaker_failures,
+                    "threshold": self.breaker_threshold,
+                },
+                "fatal": str(self._fatal) if self._fatal else None,
+                "last_fsck": dict(self._last_fsck) if self._last_fsck else None,
+                "shedding_reads": (self.shed_reads_at > 0
+                                   and len(self._queue) >= self.shed_reads_at),
+            }
+        snapshot["ok"] = (snapshot["fatal"] is None
+                          and snapshot["breaker"]["state"] == "closed"
+                          and (snapshot["last_fsck"] is None
+                               or snapshot["last_fsck"]["ok"]))
+        return snapshot
+
+    # ------------------------------------------------------------------ #
     # snapshot-consistent reads
     # ------------------------------------------------------------------ #
+    def _shed_check(self) -> None:
+        """Reject reads while the ingest queue is over the shed mark.
+
+        Under overload the store lock is the contended resource; reads
+        walking the store would stall the flusher further.  Off by
+        default (``shed_reads_at == 0``).
+        """
+        if self.shed_reads_at <= 0:
+            return
+        with self._cond:
+            depth = len(self._queue)
+        if depth >= self.shed_reads_at:
+            if obs_hooks.enabled:
+                obs.get_registry().counter("service.shed.reads").inc()
+            raise ServiceError(
+                f"shedding reads: queue depth {depth} >= shed_reads_at "
+                f"{self.shed_reads_at} — ingest is saturated"
+            )
+
     @property
     def n_edges(self) -> int:
         with self._store_lock:
@@ -447,18 +668,22 @@ class GraphService:
             return self._store.n_vertices
 
     def degree(self, src: int) -> int:
+        self._shed_check()
         with self._store_lock:
             return self._store.degree(src)
 
     def has_edge(self, src: int, dst: int) -> bool:
+        self._shed_check()
         with self._store_lock:
             return self._store.has_edge(src, dst)
 
     def neighbors(self, src: int) -> tuple[np.ndarray, np.ndarray]:
+        self._shed_check()
         with self._store_lock:
             return self._store.neighbors(src)
 
     def analytics_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        self._shed_check()
         with self._store_lock:
             return self._store.analytics_edges()
 

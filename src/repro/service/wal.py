@@ -319,10 +319,17 @@ class WriteAheadLog:
         seq = self.next_seq
         cum = self.cum_edges + edges.shape[0]
         blob = _encode(seq, op, edges, weights, cum)
-        self._file.write(blob)
-        self._file.flush()
-        if self.sync_policy == "always":
-            os.fsync(self._file.fileno())
+        start = self._file.tell()
+        try:
+            self._write_blob(blob)
+        except OSError:
+            # A transient I/O error may have landed part of the record;
+            # truncate back to the boundary so the log stays record-
+            # aligned and the append can simply be retried.  (Simulated
+            # *crashes* are not OSErrors and keep their torn bytes — a
+            # dead process cannot clean up after itself.)
+            self._rollback(start)
+            raise
         self.last_seq = seq
         self.cum_edges = cum
         self._segment_size += len(blob)
@@ -335,6 +342,24 @@ class WriteAheadLog:
         if self._segment_size >= self.segment_bytes:
             self._rotate()
         return seq
+
+    def _write_blob(self, blob: bytes) -> None:
+        """Write one encoded record (the fault-injection seam)."""
+        self._file.write(blob)
+        self._file.flush()
+        if self.sync_policy == "always":
+            os.fsync(self._file.fileno())
+
+    def _rollback(self, offset: int) -> None:
+        """Erase a partially written record after a failed append."""
+        try:
+            self._file.truncate(offset)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        except OSError:
+            # The segment is unusable right now; recovery's torn-tail
+            # truncation still covers the partial record on disk.
+            pass
 
     def sync(self) -> None:
         """fsync the active segment (the ``"batch"`` policy's commit point)."""

@@ -2,7 +2,7 @@
 
 from repro.workloads.rmat import rmat_edges
 from repro.workloads.datasets import DATASETS, Dataset, load_dataset, scale_factor
-from repro.workloads.streams import EdgeStream, batch_view
+from repro.workloads.streams import EdgeStream, batch_view, validate_edges
 
 __all__ = [
     "DATASETS",
@@ -12,4 +12,5 @@ __all__ = [
     "load_dataset",
     "rmat_edges",
     "scale_factor",
+    "validate_edges",
 ]

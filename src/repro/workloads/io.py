@@ -13,6 +13,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.workloads.streams import validate_edges
 
 
 def write_edge_list(path: str | Path, edges: np.ndarray, weights: np.ndarray | None = None) -> None:
@@ -25,10 +26,15 @@ def write_edge_list(path: str | Path, edges: np.ndarray, weights: np.ndarray | N
         np.savetxt(path, data, fmt=("%d", "%d", "%.10g"))
 
 
-def read_edge_list(path: str | Path) -> tuple[np.ndarray, np.ndarray | None]:
+def read_edge_list(path: str | Path, *,
+                   max_vertex: int | None = None,
+                   ) -> tuple[np.ndarray, np.ndarray | None]:
     """Read ``src dst [weight]`` lines -> ``(edges, weights_or_None)``.
 
     Lines starting with ``#`` or ``%`` are comments; blank lines skipped.
+    Vertex ids must be non-negative integers (``nan``, floats and
+    negatives raise :class:`~repro.errors.WorkloadError` with the line
+    number); ``max_vertex`` optionally bounds the id space.
     """
     rows: list[tuple[int, int]] = []
     weights: list[float] = []
@@ -45,10 +51,16 @@ def read_edge_list(path: str | Path) -> tuple[np.ndarray, np.ndarray | None]:
                 has_weights = len(parts) == 3
             elif has_weights != (len(parts) == 3):
                 raise WorkloadError(f"{path}:{lineno}: inconsistent field count")
-            rows.append((int(parts[0]), int(parts[1])))
+            try:
+                rows.append((int(parts[0]), int(parts[1])))
+            except ValueError:
+                raise WorkloadError(
+                    f"{path}:{lineno}: vertex ids must be integers, got "
+                    f"{parts[0]!r} {parts[1]!r}") from None
             if has_weights:
                 weights.append(float(parts[2]))
     edges = np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+    edges = validate_edges(edges, max_vertex=max_vertex, where=str(path))
     return edges, (np.asarray(weights, dtype=np.float64) if has_weights else None)
 
 
@@ -63,6 +75,7 @@ def read_mtx(path: str | Path) -> np.ndarray:
     symmetric = False
     edges: list[tuple[int, int]] = []
     size_seen = False
+    n_rows = n_cols = 0
     with open(path) as fh:
         first = fh.readline()
         if not first.startswith("%%MatrixMarket"):
@@ -76,17 +89,27 @@ def read_mtx(path: str | Path) -> np.ndarray:
             if not size_seen:
                 if len(parts) != 3:
                     raise WorkloadError(f"{path}:{lineno}: malformed size line")
+                n_rows, n_cols = int(parts[0]), int(parts[1])
                 size_seen = True
                 continue
             if len(parts) < 2:
                 raise WorkloadError(f"{path}:{lineno}: malformed entry")
-            i, j = int(parts[0]) - 1, int(parts[1]) - 1
+            try:
+                i, j = int(parts[0]) - 1, int(parts[1]) - 1
+            except ValueError:
+                raise WorkloadError(
+                    f"{path}:{lineno}: coordinates must be integers, got "
+                    f"{parts[0]!r} {parts[1]!r}") from None
             edges.append((i, j))
             if symmetric and i != j:
                 edges.append((j, i))
     if not size_seen:
         raise WorkloadError(f"{path}: no size line found")
-    return np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    out = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    # 1-based coordinates: 0 in the file lands at -1 here; entries past
+    # the declared matrix size are equally malformed.
+    return validate_edges(out, max_vertex=max(n_rows, n_cols) or None,
+                          where=str(path))
 
 
 def write_mtx(path: str | Path, edges: np.ndarray, n_vertices: int | None = None) -> None:

@@ -50,6 +50,33 @@ class TestEdgeList:
         assert got.shape == (0, 2)
 
 
+class TestEdgeListValidation:
+    def test_nan_ids_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("0 1\nnan 2\n")
+        with pytest.raises(WorkloadError, match=r"e\.txt:2"):
+            read_edge_list(path)
+
+    def test_negative_ids_rejected(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("0 1\n2 -5\n")
+        with pytest.raises(WorkloadError, match="negative"):
+            read_edge_list(path)
+
+    def test_float_ids_rejected(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("0 1\n1.5 2\n")
+        with pytest.raises(WorkloadError):
+            read_edge_list(path)
+
+    def test_max_vertex_bound(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("0 1\n2 9\n")
+        read_edge_list(path, max_vertex=10)
+        with pytest.raises(WorkloadError, match="outside"):
+            read_edge_list(path, max_vertex=9)
+
+
 class TestMtx:
     def test_roundtrip_general(self, tmp_path):
         path = tmp_path / "g.mtx"
@@ -101,6 +128,28 @@ class TestMtx:
             "1 2\n"
         )
         assert read_mtx(path).tolist() == [[0, 1]]
+
+    def test_zero_based_coordinate_rejected(self, tmp_path):
+        # MatrixMarket is 1-based; a 0 in the file lands at -1 here.
+        path = tmp_path / "m.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n"
+                        "4 4 2\n1 2\n0 3\n")
+        with pytest.raises(WorkloadError, match="negative"):
+            read_mtx(path)
+
+    def test_entry_past_declared_size_rejected(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n"
+                        "4 4 2\n1 2\n5 3\n")
+        with pytest.raises(WorkloadError, match="outside"):
+            read_mtx(path)
+
+    def test_non_integer_coordinate_rejected(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n"
+                        "4 4 1\nnan 2\n")
+        with pytest.raises(WorkloadError, match="integers"):
+            read_mtx(path)
 
     def test_feeds_graphtinker(self, tmp_path):
         """End-to-end: an .mtx file loads into the data structure."""

@@ -1,0 +1,221 @@
+"""Tests for service overload protection: retries, breaker, shedding.
+
+The durability contract under faults:
+
+* **Transient** WAL I/O errors (the kind that clear after a retry) must
+  be invisible to callers — with retries enabled the final store equals
+  a fault-free run, because each WAL append retries individually against
+  a record-aligned log.
+* **Persistent** failures must not hang submitters: after
+  ``breaker_threshold`` consecutive flush failures the circuit breaker
+  opens and everything fails fast with :class:`ServiceError` until the
+  reset window lets a half-open probe through.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.graphtinker import GraphTinker
+from repro.errors import ServiceError
+from repro.service import (
+    GraphService,
+    StoreCorruptor,
+    TransientFaultInjector,
+    recover,
+)
+from repro.workloads import rmat_edges
+
+
+def edge_set(store):
+    src, dst, _ = store.analytics_edges()
+    return set(zip(src.tolist(), dst.tolist()))
+
+
+@pytest.fixture
+def edges():
+    return rmat_edges(8, 2500, seed=7)
+
+
+def drive(svc, edges, step=250):
+    for i in range(0, edges.shape[0], step):
+        svc.submit_insert(edges[i:i + step])
+    svc.flush_now()
+
+
+class TestRetry:
+    def test_transient_faults_with_retries_match_clean_run(self, tmp_path,
+                                                           edges):
+        injector = TransientFaultInjector(fail_every=2, fail_times=2)
+        with GraphService(tmp_path, batch_edges=400, flush_interval=0.005,
+                          injector=injector, max_retries=5) as svc:
+            drive(svc, edges)
+            got = edge_set(svc)
+            n = svc.n_edges
+        assert injector.injected > 0
+        ref = GraphTinker()
+        ref.insert_batch(edges)
+        assert got == edge_set(ref)
+        assert n == ref.n_edges
+
+    def test_recovery_after_faulty_run_is_consistent(self, tmp_path, edges):
+        injector = TransientFaultInjector(fail_every=3, fail_times=1)
+        with GraphService(tmp_path, batch_edges=400, flush_interval=0.005,
+                          injector=injector, max_retries=3) as svc:
+            drive(svc, edges)
+        result = recover(tmp_path)
+        ref = GraphTinker()
+        ref.insert_batch(edges)
+        assert edge_set(result.store) == edge_set(ref)
+        assert result.fsck is not None and result.fsck.ok
+
+    def test_no_retries_stays_fail_stop(self, tmp_path, edges):
+        # Back-compat: defaults (max_retries=0, breaker_threshold=0) keep
+        # PR 2's fail-stop semantics — first WAL error kills the service.
+        injector = TransientFaultInjector(fail_every=1, fail_times=1)
+        svc = GraphService(tmp_path, batch_edges=400, flush_interval=0.005,
+                           injector=injector)
+        try:
+            with pytest.raises(ServiceError):
+                drive(svc, edges)
+            assert svc.fatal_error is not None
+        finally:
+            svc.close()
+
+
+class TestBreaker:
+    def test_opens_after_threshold_and_fails_fast(self, tmp_path, edges):
+        injector = TransientFaultInjector(fail_every=1, hard=True)
+        svc = GraphService(tmp_path, batch_edges=200, flush_interval=0.005,
+                           injector=injector, max_retries=1,
+                           breaker_threshold=2, breaker_reset=60.0)
+        try:
+            with pytest.raises(ServiceError):
+                drive(svc, edges)
+            health = svc.health()
+            assert health["breaker"]["state"] == "open"
+            assert not health["ok"]
+            # Open breaker: submit rejects immediately, no queueing.
+            start = time.monotonic()
+            with pytest.raises(ServiceError, match="circuit breaker open"):
+                svc.submit_insert(edges[:100])
+            assert time.monotonic() - start < 0.5
+            assert svc.fatal_error is None  # breaker != fail-stop
+        finally:
+            svc.close()
+
+    def test_queued_tickets_fail_when_breaker_trips(self, tmp_path, edges):
+        injector = TransientFaultInjector(fail_every=1, hard=True)
+        svc = GraphService(tmp_path, batch_edges=10_000, flush_interval=60,
+                           injector=injector, breaker_threshold=1)
+        try:
+            tickets = [svc.submit_insert(edges[i:i + 200])
+                       for i in range(0, 1000, 200)]
+            with pytest.raises(ServiceError):
+                svc.flush_now(timeout=10)
+            for ticket in tickets:
+                with pytest.raises((ServiceError, OSError)):
+                    ticket.wait(10)
+        finally:
+            svc.close()
+
+    def test_half_open_probe_recloses_breaker(self, tmp_path, edges):
+        # Two injected failures trip the breaker (threshold 1 + one
+        # retry-less flush); the injector then runs dry, so the half-open
+        # probe after the reset window succeeds and re-closes it.
+        injector = TransientFaultInjector(fail_every=1, hard=True, total=2)
+        svc = GraphService(tmp_path, batch_edges=200, flush_interval=0.005,
+                           injector=injector, max_retries=1,
+                           breaker_threshold=1, breaker_reset=0.1)
+        try:
+            with pytest.raises(ServiceError):
+                drive(svc, edges[:400])
+            assert svc.health()["breaker"]["state"] == "open"
+            time.sleep(0.15)
+            ticket = svc.submit_insert(edges[:200])
+            assert ticket.wait(10) >= 1
+            assert svc.health()["breaker"]["state"] == "closed"
+            assert svc.health()["ok"]
+        finally:
+            svc.close()
+
+
+class TestShedding:
+    def test_reads_shed_under_queue_pressure(self, tmp_path, edges):
+        # Latency trigger far away + huge batch trigger: submissions sit
+        # in the queue, so depth-based shedding is deterministic.
+        svc = GraphService(tmp_path, batch_edges=10_000, flush_interval=60,
+                           shed_reads_at=2)
+        try:
+            svc.submit_insert(edges[:100])
+            svc.submit_insert(edges[100:200])
+            with pytest.raises(ServiceError, match="shedding reads"):
+                svc.degree(0)
+            with pytest.raises(ServiceError):
+                svc.neighbors(0)
+            assert svc.health()["shedding_reads"]
+            svc.flush_now()
+            assert svc.degree(0) >= 0  # queue drained: reads serve again
+            assert not svc.health()["shedding_reads"]
+        finally:
+            svc.close()
+
+    def test_shedding_disabled_by_default(self, tmp_path, edges):
+        with GraphService(tmp_path, batch_edges=10_000,
+                          flush_interval=60) as svc:
+            svc.submit_insert(edges[:500])
+            svc.degree(0)  # deep queue, reads still served
+            svc.flush_now()
+
+
+class TestHealthAndFsck:
+    def test_health_snapshot_shape(self, tmp_path, edges):
+        with GraphService(tmp_path, batch_edges=400,
+                          flush_interval=0.005) as svc:
+            drive(svc, edges[:500])
+            health = svc.health()
+        for key in ("queue_depth", "pending_edges", "applied_seq",
+                    "cum_edges", "n_flushes", "breaker", "fatal",
+                    "last_fsck", "ok"):
+            assert key in health
+        assert health["ok"]
+        assert health["breaker"]["state"] == "closed"
+
+    def test_open_runs_and_surfaces_post_recovery_fsck(self, tmp_path, edges):
+        with GraphService(tmp_path, batch_edges=400,
+                          flush_interval=0.005) as svc:
+            drive(svc, edges)
+        svc, result = GraphService.open(tmp_path)
+        try:
+            assert result.fsck is not None
+            assert result.fsck.ok
+            assert result.fsck.level == "quick"
+            health = svc.health()
+            assert health["last_fsck"] is not None
+            assert health["last_fsck"]["ok"]
+        finally:
+            svc.close()
+
+    def test_open_verify_none_skips_fsck(self, tmp_path, edges):
+        with GraphService(tmp_path, batch_edges=400,
+                          flush_interval=0.005) as svc:
+            drive(svc, edges[:500])
+        svc, result = GraphService.open(tmp_path, verify=None)
+        try:
+            assert result.fsck is None
+            assert svc.health()["last_fsck"] is None
+        finally:
+            svc.close()
+
+    def test_run_fsck_detects_and_repairs_live_store(self, tmp_path, edges):
+        with GraphService(tmp_path, batch_edges=400,
+                          flush_interval=0.005) as svc:
+            drive(svc, edges)
+            StoreCorruptor(svc._store, seed=2).corrupt("degree")
+            report = svc.run_fsck(level="full")
+            assert not report.ok
+            assert not svc.health()["ok"]
+            repair = svc.run_fsck(repair=True)
+            assert repair.ok
+            assert svc.health()["ok"]

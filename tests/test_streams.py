@@ -10,6 +10,7 @@ from repro.workloads.streams import (
     highest_degree_roots,
     interleaved_schedule,
     symmetrize,
+    validate_edges,
 )
 
 
@@ -72,6 +73,59 @@ class TestEdgeStream:
             EdgeStream(np.zeros((3, 3), dtype=np.int64), 10)
         with pytest.raises(WorkloadError):
             EdgeStream(np.zeros((3, 2), dtype=np.int64), 0)
+
+    def test_rejects_invalid_ids_at_construction(self, edges):
+        bad = edges.astype(np.float64)
+        bad[7, 1] = np.nan
+        with pytest.raises(WorkloadError, match="non-finite"):
+            EdgeStream(bad, 100)
+        with pytest.raises(WorkloadError, match="negative"):
+            EdgeStream(np.array([[0, 1], [2, -3]]), 100)
+
+    def test_max_vertex_bound(self, edges):
+        EdgeStream(edges, 100, max_vertex=50)  # ids are in [0, 50)
+        with pytest.raises(WorkloadError, match="outside"):
+            EdgeStream(edges, 100, max_vertex=40)
+
+    def test_prefix_inherits_bound(self, edges):
+        s = EdgeStream(edges, 100, max_vertex=50).prefix(200)
+        assert s.max_vertex == 50
+
+
+class TestValidateEdges:
+    def test_clean_int64_passes_without_copy(self, edges):
+        out = validate_edges(edges)
+        assert out is edges
+
+    def test_whole_floats_convert(self):
+        out = validate_edges(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert out.dtype == np.int64
+        assert out.tolist() == [[1, 2], [3, 4]]
+
+    @pytest.mark.parametrize("bad, pattern", [
+        (np.array([[0.0, np.nan]]), "non-finite"),
+        (np.array([[0.0, np.inf]]), "non-finite"),
+        (np.array([[0.5, 1.0]]), "fractional"),
+        (np.array([[-1, 4]]), "negative"),
+        (np.array([["a", "b"]]), "numeric"),
+    ])
+    def test_rejections_are_typed_and_name_the_row(self, bad, pattern):
+        with pytest.raises(WorkloadError, match=pattern):
+            validate_edges(bad)
+
+    def test_error_names_first_offending_row(self):
+        arr = np.array([[0, 1], [2, 3], [4, -9]])
+        with pytest.raises(WorkloadError, match="row 2"):
+            validate_edges(arr)
+
+    def test_max_vertex_is_exclusive(self):
+        validate_edges(np.array([[0, 9]]), max_vertex=10)
+        with pytest.raises(WorkloadError, match="outside"):
+            validate_edges(np.array([[0, 10]]), max_vertex=10)
+
+    def test_empty_edges_pass(self):
+        out = validate_edges(np.empty((0, 2), dtype=np.int64), max_vertex=5)
+        assert out.shape == (0, 2)
 
 
 class TestSymmetrize:
