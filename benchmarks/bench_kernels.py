@@ -1,0 +1,92 @@
+"""Kernel bench — vectorized vs scalar batch-ingest wall-clock.
+
+The vector kernel (``repro.core.kernels``) must be *behaviourally
+invisible*: bit-identical store state and bit-identical ``AccessStats``
+versus the scalar reference for any input stream.  Its only licensed
+effect is wall-clock speed.  This bench pins both halves of that
+contract on the acceptance workload — a 100k-edge RMAT stream inserted
+batch-by-batch:
+
+* **speed**: the vector kernel must beat the scalar kernel by at least
+  ``SPEEDUP_FLOOR`` (3x by default; override with
+  ``REPRO_KERNEL_SPEEDUP_FLOOR`` for noisy shared runners);
+* **equivalence**: final edge sets and the full stats dict must be
+  equal — a slow correct kernel fails the first assert, a fast wrong
+  one fails the second.
+"""
+
+import gc
+import os
+import time
+
+import pytest
+
+from repro.bench.harness import make_store
+from repro.bench.reporting import Table
+from repro.workloads import rmat_edges
+from repro.workloads.streams import EdgeStream
+
+from _common import emit
+
+N_EDGES = 100_000
+SCALE = 16
+N_BATCHES = 4
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_KERNEL_SPEEDUP_FLOOR", "3.0"))
+
+
+def _ingest(kernel: str):
+    edges = rmat_edges(SCALE, N_EDGES, seed=7)
+    stream = EdgeStream(edges, max(1, N_EDGES // N_BATCHES))
+    store = make_store("graphtinker", kernel=kernel)
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        for batch in stream.insert_batches():
+            store.insert_batch(batch)
+        elapsed = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    return store, elapsed
+
+
+def run_all():
+    # Warm both code paths (allocator pools, lazy imports, branch caches)
+    # on a small prefix so the timed runs compare kernels, not cold starts.
+    for kernel in ("scalar", "vector"):
+        warm = make_store("graphtinker", kernel=kernel)
+        warm.insert_batch(rmat_edges(SCALE, 5_000, seed=3))
+    scalar, t_scalar = _ingest("scalar")
+    vector, t_vector = _ingest("vector")
+    return {
+        "t_scalar": t_scalar,
+        "t_vector": t_vector,
+        "scalar_stats": scalar.stats.as_dict(),
+        "vector_stats": vector.stats.as_dict(),
+        "scalar_edges": sorted(zip(*(a.tolist() for a in scalar.edge_arrays()))),
+        "vector_edges": sorted(zip(*(a.tolist() for a in vector.edge_arrays()))),
+    }
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_vector_kernel_speedup_and_equivalence(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    speedup = results["t_scalar"] / results["t_vector"]
+
+    table = Table(
+        f"batch-ingest kernels ({N_EDGES} RMAT edges, {N_BATCHES} batches)",
+        ["kernel", "wall seconds", "edges/s", "speedup"],
+    )
+    table.add_row(["scalar", results["t_scalar"],
+                   N_EDGES / results["t_scalar"], 1.0])
+    table.add_row(["vector", results["t_vector"],
+                   N_EDGES / results["t_vector"], speedup])
+    emit(table)
+
+    # Equivalence first: a fast-but-wrong kernel must not pass.
+    assert results["vector_stats"] == results["scalar_stats"]
+    assert results["vector_edges"] == results["scalar_edges"]
+    # Then the acceptance speedup on the interpreter clock.
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vector kernel speedup {speedup:.2f}x below floor {SPEEDUP_FLOOR}x"
+    )

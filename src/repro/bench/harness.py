@@ -32,19 +32,26 @@ from repro.workloads.streams import EdgeStream
 
 
 def make_store(kind: str, gt_config: GTConfig | None = None,
-               stinger_config: StingerConfig | None = None):
+               stinger_config: StingerConfig | None = None,
+               kernel: str | None = None):
     """Build a store by name: ``"graphtinker"``, ``"gt_nocal"``,
-    ``"gt_nosgh"``, ``"gt_plain"`` (both off), ``"stinger"``."""
+    ``"gt_nosgh"``, ``"gt_plain"`` (both off), ``"stinger"``.
+
+    ``kernel`` overrides the batch-ingest kernel of the GraphTinker kinds
+    (``"scalar"``/``"vector"``); it never changes any modeled number, only
+    wall-clock speed, and is ignored by the STINGER baseline.
+    """
+    cfg = gt_config or GTConfig()
+    if kernel is not None:
+        cfg = cfg.with_(kernel=kernel)
     if kind == "graphtinker":
-        return GraphTinker(gt_config or GTConfig())
+        return GraphTinker(cfg)
     if kind == "gt_nocal":
-        return GraphTinker((gt_config or GTConfig()).with_(enable_cal=False))
+        return GraphTinker(cfg.with_(enable_cal=False))
     if kind == "gt_nosgh":
-        return GraphTinker((gt_config or GTConfig()).with_(enable_sgh=False))
+        return GraphTinker(cfg.with_(enable_sgh=False))
     if kind == "gt_plain":
-        return GraphTinker(
-            (gt_config or GTConfig()).with_(enable_cal=False, enable_sgh=False)
-        )
+        return GraphTinker(cfg.with_(enable_cal=False, enable_sgh=False))
     if kind == "stinger":
         return Stinger(stinger_config or StingerConfig())
     raise ValueError(f"unknown store kind {kind!r}")

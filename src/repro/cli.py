@@ -97,17 +97,39 @@ def cmd_load(args) -> int:
     stream = EdgeStream(edges, max(1, edges.shape[0] // args.batches))
     table = Table(
         f"insertion throughput: {args.dataset} ({edges.shape[0]} edges, "
-        f"{stream.n_batches} batches)",
+        f"{stream.n_batches} batches, kernel={args.kernel})",
         ["system"] + [f"batch{i}" for i in range(stream.n_batches)],
     )
+    report: dict = {
+        "dataset": args.dataset,
+        "edges": int(edges.shape[0]),
+        "batches": stream.n_batches,
+        "kernel": args.kernel,
+        "systems": [],
+    }
     for kind in args.systems:
-        store = make_store(kind)
+        store = make_store(kind, kernel=args.kernel)
         ms = insertion_run(store, EdgeStream(edges, stream.batch_size))
         log.info(kv("insertion run finished", system=kind,
                     edges=store.n_edges,
                     block_accesses=store.stats.total_block_accesses))
         table.add_row([kind] + [m.modeled_throughput(MODEL) for m in ms])
+        report["systems"].append({
+            "system": kind,
+            "kernel": args.kernel if kind != "stinger" else None,
+            "modeled_throughput": [m.modeled_throughput(MODEL) for m in ms],
+            "wall_seconds": [m.wall_seconds for m in ms],
+            "final_edges": int(store.n_edges),
+            "block_accesses": int(store.stats.total_block_accesses),
+        })
     table.print()
+    if args.json:
+        import json
+
+        target = Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote JSON report to {args.json}")
     return 0
 
 
@@ -412,6 +434,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batches", type=int, default=6)
     p.add_argument("--systems", nargs="+", default=["graphtinker", "stinger"],
                    choices=["graphtinker", "gt_nocal", "gt_nosgh", "gt_plain", "stinger"])
+    p.add_argument("--kernel", default="vector", choices=["vector", "scalar"],
+                   help="batch-ingest kernel for the GraphTinker systems "
+                        "(bit-identical results; wall-clock only)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write per-system throughput (modeled + wall) "
+                        "and the kernel used as JSON")
     p.set_defaults(func=cmd_load)
 
     p = sub.add_parser("analytics", parents=[common],

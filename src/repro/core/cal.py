@@ -150,6 +150,134 @@ class CoarseAdjacencyList:
         self.stats.cal_updates += 1
         return block, slot
 
+    def append_many(self, srcs: np.ndarray, dsts: np.ndarray, weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Append many copies in order; return ``(blocks, slots)`` arrays.
+
+        State-identical to calling :meth:`append` once per element: the
+        same slot layout, tail/fill evolution, chain links, block
+        *allocation order* (and therefore the same pool row ids, free-list
+        included) and the same ``cal_updates`` total.  Instead of walking
+        edge by edge, the batch is grouped (stably, preserving stream
+        order within a group — the only order the layout depends on), each
+        group's appends are laid out arithmetically along its virtual slot
+        sequence, new-block needs are replayed in original stream order
+        against the pool's free list, and cell writes land as per-segment
+        slice stores.  This is the vector batch kernel's CAL replay
+        primitive.
+        """
+        n = srcs.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        bs = self.config.cal_block_size
+        groups = srcs // self.config.cal_group_width
+        order = np.lexsort((np.arange(n), groups))
+        g_sorted = groups[order]
+        s_sorted = srcs[order]
+        d_sorted = dsts[order]
+        w_sorted = weights[order]
+        uniq_g, starts = np.unique(g_sorted, return_index=True)
+        uniq_l = uniq_g.tolist()
+        starts_l = starts.tolist()
+        starts_l.append(n)
+        order_l = order.tolist()
+        self._ensure_group(uniq_l[-1])
+
+        # Pass 1: per group, note its starting state and every append that
+        # needs a fresh block (the q-th virtual slot with q % bs == 0).
+        # Allocation must happen in *original stream order* across groups
+        # so free-list reuse and fresh row ids match the scalar replay.
+        per_group = []
+        group_new_qs: list[range] = []
+        events: list[tuple[int, int, int]] = []  # (stream index, group pos, q)
+        for gi in range(len(uniq_l)):
+            g = uniq_l[gi]
+            a, b = starts_l[gi], starts_l[gi + 1]
+            tail = self._group_tail[g]
+            base = self._tail_fill[g] if tail >= 0 else 0
+            per_group.append((g, a, b, base, tail))
+            if tail < 0:
+                first_new = 0
+            else:
+                first_new = ((base + bs - 1) // bs) * bs
+                if first_new == 0:
+                    first_new = bs
+            qs = range(first_new, base + (b - a), bs)
+            group_new_qs.append(qs)
+            for q in qs:
+                events.append((order_l[a + q - base], gi, q))
+        events.sort()
+
+        pool = self.pool
+        free = pool._free
+        new_ids: dict[tuple[int, int], int] = {}
+        fresh = 0
+        reused: list[int] = []
+        for _, gi, q in events:
+            if free:
+                idx = free.pop()
+                reused.append(idx)
+            else:
+                idx = pool._used + fresh
+                fresh += 1
+            new_ids[(gi, q)] = idx
+        if fresh:
+            pool._grow_to(pool._used + fresh)
+            pool._used += fresh
+        for idx in reused:
+            pool._data[idx] = pool._blank(pool.block_width)
+        if new_ids or per_group:
+            max_block = max(
+                max(new_ids.values(), default=-1),
+                max((t for _, _, _, _, t in per_group), default=-1),
+            )
+            if max_block >= 0:
+                self._next.ensure(max_block + 1)
+                self._prev.ensure(max_block + 1)
+                self._valid_count.ensure(max_block + 1)
+
+        # Pass 2: link new blocks (mirroring _new_block), write cells
+        # segment by segment, update tails/fills/counts, and record each
+        # append's address.
+        blocks_sorted = np.empty(n, dtype=np.int64)
+        slots_sorted = np.empty(n, dtype=np.int64)
+        for gi, (g, a, b, base, tail) in enumerate(per_group):
+            prev = tail
+            for q in group_new_qs[gi]:
+                block = new_ids[(gi, q)]
+                self._next[block] = -1
+                self._valid_count[block] = 0
+                self._prev[block] = prev
+                if prev >= 0:
+                    self._next[prev] = block
+                else:
+                    self._group_head[g] = block
+                prev = block
+            pos = a
+            while pos < b:
+                q = base + (pos - a)
+                q_floor = q - (q % bs)
+                block = tail if (tail >= 0 and q < bs) else new_ids[(gi, q_floor)]
+                take = min(q_floor + bs, base + (b - a)) - q
+                sl0 = q - q_floor
+                sl1 = sl0 + take
+                row = pool.row(block)
+                row["src"][sl0:sl1] = s_sorted[pos : pos + take]
+                row["dst"][sl0:sl1] = d_sorted[pos : pos + take]
+                row["weight"][sl0:sl1] = w_sorted[pos : pos + take]
+                self._valid_count[block] = self._valid_count[block] + take
+                blocks_sorted[pos : pos + take] = block
+                slots_sorted[pos : pos + take] = np.arange(sl0, sl1)
+                pos += take
+            self._group_tail[g] = prev
+            self._tail_fill[g] = ((base + (b - a) - 1) % bs) + 1
+        blocks_out = np.empty(n, dtype=np.int64)
+        slots_out = np.empty(n, dtype=np.int64)
+        blocks_out[order] = blocks_sorted
+        slots_out[order] = slots_sorted
+        self._n_valid += n
+        self.stats.cal_updates += n
+        return blocks_out, slots_out
+
     def update_weight(self, block: int, slot: int, weight: float) -> None:
         """Overwrite the weight of an existing copy via its CAL-pointer."""
         self.pool.row(block)["weight"][slot] = weight

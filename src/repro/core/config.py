@@ -79,6 +79,14 @@ class GTConfig:
         Number of main-region edgeblock rows pre-allocated.
     seed:
         Seed for the (deterministic) hash-mixing constants.
+    kernel:
+        Batch-ingest implementation used by ``insert_batch`` /
+        ``delete_batch``: ``"vector"`` (default) runs the NumPy-assisted
+        batch kernels of :mod:`repro.core.kernels`; ``"scalar"`` runs the
+        per-edge reference path.  The two are event-identical — same
+        store state, bit-identical :class:`~repro.core.stats.AccessStats`
+        — which tests/test_kernels.py enforces; the switch therefore
+        only ever changes wall-clock speed, never any modeled number.
     """
 
     pagewidth: int = DEFAULT_PAGEWIDTH
@@ -93,6 +101,7 @@ class GTConfig:
     max_generations: int = DEFAULT_MAX_GENERATIONS
     initial_vertices: int = 16
     seed: int = 0x9E3779B9
+    kernel: str = "vector"
 
     def __post_init__(self) -> None:
         if not _is_power_of_two(self.pagewidth):
@@ -117,6 +126,8 @@ class GTConfig:
             raise ConfigError("max_generations must be positive")
         if self.initial_vertices <= 0:
             raise ConfigError("initial_vertices must be positive")
+        if self.kernel not in ("scalar", "vector"):
+            raise ConfigError(f"unknown kernel {self.kernel!r} (expected 'scalar' or 'vector')")
 
     @property
     def subblocks_per_block(self) -> int:

@@ -24,6 +24,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.cal import CoarseAdjacencyList
 from repro.core.config import GTConfig
 from repro.core.edgeblock_array import EdgeblockArray
@@ -136,11 +137,25 @@ class GraphTinker:
                     self.cal.update_weight(block, slot, weight)
         return is_new
 
-    def insert_batch(self, edges: np.ndarray, weights: np.ndarray | None = None) -> int:
+    def _resolve_kernel(self, kernel: str | None) -> str:
+        kern = self.config.kernel if kernel is None else kernel
+        if kern not in ("scalar", "vector"):
+            raise ValueError(f"unknown kernel {kern!r} (expected 'scalar' or 'vector')")
+        return kern
+
+    def insert_batch(
+        self,
+        edges: np.ndarray,
+        weights: np.ndarray | None = None,
+        kernel: str | None = None,
+    ) -> int:
         """Insert an ``(n, 2)`` batch of edges; return the number of new ones.
 
         This is the paper's batch-update entry point (1M-edge batches in
-        the evaluation).  Weights default to 1.0.
+        the evaluation).  Weights default to 1.0.  ``kernel`` overrides
+        the configured batch implementation for this call; both kernels
+        are event-identical (see :mod:`repro.core.kernels`), so the choice
+        only affects wall-clock time.
         """
         edges = np.asarray(edges, dtype=np.int64)
         if edges.ndim != 2 or edges.shape[1] != 2:
@@ -149,16 +164,31 @@ class GraphTinker:
             raise ValueError("vertex ids must be non-negative")
         if weights is None:
             weights = np.ones(edges.shape[0], dtype=np.float64)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+        kern = self._resolve_kernel(kernel)
         before = self.stats.snapshot() if obs_hooks.enabled else None
+        # The scalar loop zips edges with weights, so a short weights array
+        # silently truncates the batch; the vector path mirrors that.
+        m = min(edges.shape[0], weights.shape[0])
+        if kern == "vector" and m:
+            new = kernels.insert_batch_vector(self, edges[:m], weights[:m])
+        else:
+            new = self._insert_batch_scalar(edges, weights)
+        if before is not None:
+            obs_hooks.publish_store_delta("gt", self.stats.delta(before))
+            obs_hooks.publish_ingest("insert", kern, int(edges.shape[0]))
+        return new
+
+    def _insert_batch_scalar(self, edges: np.ndarray, weights: np.ndarray) -> int:
+        """Per-edge reference implementation of :meth:`insert_batch`."""
         new = 0
         srcs = edges[:, 0].tolist()
         dsts = edges[:, 1].tolist()
-        wts = np.asarray(weights, dtype=np.float64).tolist()
+        wts = weights.tolist()
         for s, d, w in zip(srcs, dsts, wts):
             if self.insert_edge(s, d, w):
                 new += 1
-        if before is not None:
-            obs_hooks.publish_store_delta("gt", self.stats.delta(before))
         return new
 
     def delete_edge(self, src: int, dst: int) -> bool:
@@ -184,16 +214,34 @@ class GraphTinker:
                 self.cal.invalidate(*cal_ptr)
         return True
 
-    def delete_batch(self, edges: np.ndarray) -> int:
+    def delete_batch(self, edges: np.ndarray, kernel: str | None = None) -> int:
         """Delete a batch of edges; return how many actually existed."""
         edges = np.asarray(edges, dtype=np.int64)
+        kern = self._resolve_kernel(kernel)
         before = self.stats.snapshot() if obs_hooks.enabled else None
-        deleted = 0
-        for s, d in zip(edges[:, 0].tolist(), edges[:, 1].tolist()):
-            if self.delete_edge(s, d):
-                deleted += 1
+        # The vector delete kernel covers the delete-only (tombstoning)
+        # mechanism; delete-and-compact couples sources through shared CAL
+        # group tails, and an SGH-less store hands negative ids straight to
+        # the block pool (which raises) — both take the scalar path so the
+        # event stream stays identical by construction.
+        use_vector = (
+            kern == "vector"
+            and not self.config.compact_on_delete
+            and edges.ndim == 2
+            and edges.shape[1] >= 2
+            and edges.shape[0] > 0
+            and not (self.sgh is None and bool(edges[:, 0].min() < 0))
+        )
+        if use_vector:
+            deleted = kernels.delete_batch_vector(self, edges)
+        else:
+            deleted = 0
+            for s, d in zip(edges[:, 0].tolist(), edges[:, 1].tolist()):
+                if self.delete_edge(s, d):
+                    deleted += 1
         if before is not None:
             obs_hooks.publish_store_delta("gt", self.stats.delta(before))
+            obs_hooks.publish_ingest("delete", kern, int(edges.shape[0]))
         return deleted
 
     def delete_vertex(self, src: int) -> int:

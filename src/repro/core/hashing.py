@@ -64,6 +64,23 @@ def initial_bucket(dst: int, generation: int, subblock_size: int, seed: int) -> 
     return mix64(dst, ~seed & _MASK64 ^ (generation * 0xA24BAED4)) % subblock_size
 
 
+def subblock_index_array(dsts: np.ndarray, generation: int, n_subblocks: int, seed: int) -> np.ndarray:
+    """Vectorised :func:`subblock_index` (returns int64 subblock ids).
+
+    Bit-identical to the scalar form for every element: both feed the same
+    effective seed ``seed ^ (generation * 0x51ED2701)`` into the splitmix64
+    finalizer and reduce modulo ``n_subblocks``.
+    """
+    mixed = mix64_array(dsts.astype(np.int64), (seed ^ (generation * 0x51ED2701)) & _MASK64)
+    return (mixed % np.uint64(n_subblocks)).astype(np.int64)
+
+
+def initial_bucket_array(dsts: np.ndarray, generation: int, subblock_size: int, seed: int) -> np.ndarray:
+    """Vectorised :func:`initial_bucket` (returns int64 bucket offsets)."""
+    mixed = mix64_array(dsts.astype(np.int64), (~seed & _MASK64 ^ (generation * 0xA24BAED4)) & _MASK64)
+    return (mixed % np.uint64(subblock_size)).astype(np.int64)
+
+
 def partition_of(src: int, n_partitions: int, seed: int = 0) -> int:
     """Interval selector for parallel GraphTinker instances (Sec. III.D)."""
     return mix64(src, seed ^ 0x6A09E667) % n_partitions

@@ -23,6 +23,7 @@ how Fig. 10 compares the two at 1-8 cores.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 import numpy as np
@@ -47,13 +48,25 @@ class PartitionedStore:
         (:class:`GraphTinker`, :class:`~repro.stinger.Stinger`, ...).
     seed:
         Seed of the interval hash.
+    max_workers:
+        When set (> 1), sub-batches are applied concurrently on a
+        :class:`~concurrent.futures.ThreadPoolExecutor` — sound because
+        the instances share no state, exactly the paper's no-cross-traffic
+        premise.  ``None`` (the default) keeps the serial path.  Results
+        are merged in partition order either way, so per-partition deltas,
+        merged stats, and every store's contents are identical between
+        serial and threaded runs.
     """
 
-    def __init__(self, n_partitions: int, factory: Callable[[], object], seed: int = 0):
+    def __init__(self, n_partitions: int, factory: Callable[[], object], seed: int = 0,
+                 max_workers: int | None = None):
         if n_partitions <= 0:
             raise ConfigError("n_partitions must be positive")
+        if max_workers is not None and max_workers <= 0:
+            raise ConfigError("max_workers must be positive when given")
         self.n_partitions = n_partitions
         self.seed = seed
+        self.max_workers = max_workers
         self.instances = [factory() for _ in range(n_partitions)]
 
     # ------------------------------------------------------------------ #
@@ -75,23 +88,38 @@ class PartitionedStore:
         compute the parallel makespan ``max_p cost(delta_p)`` as well as
         aggregate work ``sum_p cost(delta_p)``.
         """
-        deltas: list[AccessStats] = []
-        for inst, sub in zip(self.instances, self.partition_batch(edges)):
-            before = inst.stats.snapshot()
-            inst.insert_batch(sub)
-            deltas.append(inst.stats.delta(before))
+        deltas = self._apply("insert_batch", edges)
         self._publish(deltas)
         return deltas
 
     def delete_batch(self, edges: np.ndarray) -> list[AccessStats]:
         """Delete a batch across partitions; return per-partition deltas."""
-        deltas: list[AccessStats] = []
-        for inst, sub in zip(self.instances, self.partition_batch(edges)):
-            before = inst.stats.snapshot()
-            inst.delete_batch(sub)
-            deltas.append(inst.stats.delta(before))
+        deltas = self._apply("delete_batch", edges)
         self._publish(deltas)
         return deltas
+
+    def _apply(self, op: str, edges: np.ndarray) -> list[AccessStats]:
+        """Run ``op`` on every partition's sub-batch, serial or threaded.
+
+        The threaded path is safe because partitions are disjoint by
+        construction (no instance is touched by two tasks) and each task
+        reads/writes only its own instance.  ``ThreadPoolExecutor.map``
+        yields results in submission order, so the returned delta list —
+        and therefore any stats merge the caller performs — is ordered by
+        partition id exactly as the serial path orders it.
+        """
+
+        def one(pair) -> AccessStats:
+            inst, sub = pair
+            before = inst.stats.snapshot()
+            getattr(inst, op)(sub)
+            return inst.stats.delta(before)
+
+        pairs = list(zip(self.instances, self.partition_batch(edges)))
+        if self.max_workers is None or self.max_workers == 1 or self.n_partitions == 1:
+            return [one(pair) for pair in pairs]
+        with ThreadPoolExecutor(max_workers=min(self.max_workers, self.n_partitions)) as ex:
+            return list(ex.map(one, pairs))
 
     def _publish(self, deltas: Sequence[AccessStats]) -> None:
         """Publish a batch's aggregate delta under the ``part.`` prefix."""
@@ -144,16 +172,18 @@ class PartitionedStore:
 class PartitionedGraphTinker(PartitionedStore):
     """Convenience: interval-partitioned GraphTinker instances."""
 
-    def __init__(self, n_partitions: int, config: GTConfig | None = None, seed: int = 0):
+    def __init__(self, n_partitions: int, config: GTConfig | None = None, seed: int = 0,
+                 max_workers: int | None = None):
         cfg = config if config is not None else GTConfig()
-        super().__init__(n_partitions, lambda: GraphTinker(cfg), seed)
+        super().__init__(n_partitions, lambda: GraphTinker(cfg), seed, max_workers)
 
 
 class PartitionedStinger(PartitionedStore):
     """Convenience: interval-partitioned STINGER instances (Fig. 10)."""
 
-    def __init__(self, n_partitions: int, config: StingerConfig | None = None, seed: int = 0):
+    def __init__(self, n_partitions: int, config: StingerConfig | None = None, seed: int = 0,
+                 max_workers: int | None = None):
         from repro.stinger import Stinger
 
         cfg = config if config is not None else StingerConfig()
-        super().__init__(n_partitions, lambda: Stinger(cfg), seed)
+        super().__init__(n_partitions, lambda: Stinger(cfg), seed, max_workers)

@@ -265,6 +265,160 @@ def rhh_insert(
     )
 
 
+def rhh_find_lists(
+    dsts: list,
+    dst: int,
+    init_bucket: int,
+    rhh_mode: bool,
+) -> tuple[int, int]:
+    """List-backed mirror of :func:`rhh_find` for the vector batch kernel.
+
+    ``dsts`` is a plain-Python-int list of one Subblock's ``dst`` fields
+    (a live cache the kernel writes back when the batch completes).
+    Returns ``(slot, scan_len)`` where ``slot`` is ``-1`` when absent and
+    ``scan_len`` is the number of cells inspected; the caller applies the
+    exact :func:`_charge_scan` arithmetic to its local accumulators so the
+    charges stay bit-identical to the scalar path.
+    """
+    size = len(dsts)
+    for distance in range(size):
+        slot = init_bucket + distance
+        if slot >= size:
+            slot -= size
+        cell_dst = dsts[slot]
+        if cell_dst == dst:
+            return slot, distance + 1
+        if rhh_mode and cell_dst == -1:
+            return -1, distance + 1
+    return -1, size
+
+
+def rhh_insert_lists(
+    dsts: list,
+    weights: list,
+    probes: list,
+    cal_blocks: list,
+    cal_slots: list,
+    dst: int,
+    weight: float,
+    init_bucket: int,
+    enable_rhh: bool,
+    cal_block: int,
+    cal_slot: int,
+) -> tuple:
+    """List-backed mirror of :func:`rhh_insert` for the vector batch kernel.
+
+    Operates on five parallel Python-int/float lists caching one Subblock
+    and returns every charge the scalar path would have made instead of
+    mutating an :class:`AccessStats`:
+
+    ``(status, slot, lengths, wrote, swaps, o_dst, o_weight, o_cal_block, o_cal_slot)``
+
+    where ``lengths`` feeds ``_charge_scan`` (fetches = union over passes,
+    cells = sum over passes), ``wrote`` is whether one workblock writeback
+    was charged, and ``swaps`` counts Robin-Hood displacements.  The lists
+    are live (unlike the scalar path's point-in-time ``tolist`` copies),
+    but the walk still visits each slot at most once per call, so no
+    mutation is ever re-read — behaviour is bit-identical.
+    """
+    size = len(dsts)
+    empty, tombstone = int(EMPTY), int(TOMBSTONE)
+
+    # --- FIND stage (mirrors rhh_insert exactly). -----------------------
+    found_slot = -1
+    first_vacant = -1
+    find_len = 0
+    for distance in range(size):
+        slot = init_bucket + distance
+        if slot >= size:
+            slot -= size
+        find_len = distance + 1
+        cell_dst = dsts[slot]
+        if cell_dst == dst:
+            found_slot = slot
+            break
+        if cell_dst == empty:
+            if first_vacant < 0:
+                first_vacant = slot
+            if enable_rhh:
+                break
+        elif cell_dst == tombstone and first_vacant < 0:
+            first_vacant = slot
+
+    if found_slot >= 0:
+        weights[found_slot] = weight
+        return (UPDATED, found_slot, (find_len,), True, 0, -1, 0.0, -1, -1)
+
+    # --- INSERT stage. ---------------------------------------------------
+    if not enable_rhh:
+        if first_vacant < 0:
+            return (CONGESTED, -1, (find_len,), False, 0, dst, weight, cal_block, cal_slot)
+        dsts[first_vacant] = dst
+        weights[first_vacant] = weight
+        probes[first_vacant] = _distance(init_bucket, first_vacant, size)
+        cal_blocks[first_vacant] = cal_block
+        cal_slots[first_vacant] = cal_slot
+        return (INSERTED, first_vacant, (find_len,), True, 0, -1, 0.0, -1, -1)
+
+    float_dst = dst
+    float_weight = weight
+    float_probe = 0
+    float_cal_block = cal_block
+    float_cal_slot = cal_slot
+    placed_slot = -1
+    swaps = 0
+
+    steps = 0
+    slot = init_bucket
+    while steps < size:
+        if slot >= size:
+            slot -= size
+        cell_dst = dsts[slot]
+        if cell_dst == empty or cell_dst == tombstone:
+            dsts[slot] = float_dst
+            weights[slot] = float_weight
+            probes[slot] = float_probe
+            cal_blocks[slot] = float_cal_block
+            cal_slots[slot] = float_cal_slot
+            if placed_slot < 0:
+                placed_slot = slot
+            return (INSERTED, placed_slot, (find_len, steps + 1), True, swaps, -1, 0.0, -1, -1)
+        resident_probe = probes[slot]
+        if float_probe > resident_probe:
+            swaps += 1
+            r_dst = dsts[slot]
+            r_weight = weights[slot]
+            r_cal_block = cal_blocks[slot]
+            r_cal_slot = cal_slots[slot]
+            dsts[slot] = float_dst
+            weights[slot] = float_weight
+            probes[slot] = float_probe
+            cal_blocks[slot] = float_cal_block
+            cal_slots[slot] = float_cal_slot
+            if placed_slot < 0:
+                placed_slot = slot
+            float_dst = r_dst
+            float_weight = r_weight
+            float_probe = resident_probe
+            float_cal_block = r_cal_block
+            float_cal_slot = r_cal_slot
+        float_probe += 1
+        slot += 1
+        steps += 1
+
+    return (
+        CONGESTED,
+        placed_slot,
+        (find_len, size),
+        placed_slot >= 0,
+        swaps,
+        float_dst,
+        float_weight,
+        float_cal_block,
+        float_cal_slot,
+    )
+
+
 def rhh_delete(
     cells: np.ndarray,
     dst: int,

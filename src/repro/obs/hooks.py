@@ -85,6 +85,21 @@ _STAT_METRICS: tuple[tuple[str, str], ...] = (
 )
 
 
+def publish_ingest(op: str, kernel: str, n_edges: int) -> None:
+    """Publish one ingest batch under its kernel: ``ingest.<op>.<kernel>.*``.
+
+    Emits per-kernel batch and edge counters so a kernel rollout (or a
+    scalar fallback, e.g. delete-and-compact batches) is visible in the
+    metrics without changing any cost-model number.  Callers must have
+    checked :data:`enabled` already.
+    """
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    registry.counter(f"ingest.{op}.{kernel}.batches").inc()
+    registry.counter(f"ingest.{op}.{kernel}.edges").inc(n_edges)
+
+
 def publish_store_delta(prefix: str, delta: "AccessStats") -> None:
     """Publish one batch's :class:`AccessStats` delta as counters.
 

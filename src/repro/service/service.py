@@ -127,6 +127,7 @@ class GraphService:
                  breaker_threshold: int = 0,
                  breaker_reset: float = 1.0,
                  shed_reads_at: int = 0,
+                 kernel: str | None = None,
                  injector=None):
         if batch_edges < 1:
             raise ServiceError("batch_edges must be >= 1")
@@ -140,6 +141,12 @@ class GraphService:
         self.directory.mkdir(parents=True, exist_ok=True)
         self._store = store if store is not None else GraphTinker(
             config if config is not None else GTConfig())
+        if kernel is not None:
+            # Batch-ingest kernel override; validated by GTConfig, and safe
+            # to apply to a recovered store because the kernel switch only
+            # selects the insert_batch/delete_batch implementation — both
+            # produce bit-identical store state and stats.
+            self._store.config = self._store.config.with_(kernel=kernel)
         if wal is not None:
             self._wal = wal
         elif injector is not None:

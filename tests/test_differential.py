@@ -1,0 +1,152 @@
+"""Randomized differential oracle: four implementations, one truth.
+
+Each case replays one seeded operation stream — duplicate-heavy inserts,
+deletes (including misses and double-deletes), and self-loop bursts —
+through four systems in lockstep:
+
+* GraphTinker with the **scalar** kernel,
+* GraphTinker with the **vector** kernel,
+* the STINGER baseline,
+* the dict-of-dicts :class:`~tests.reference.ReferenceGraph`.
+
+After every operation the batch return values must agree, and probe
+rounds cross-check ``has_edge`` / ``degree`` / ``neighbors`` /
+``edge_weight`` on all four.  Any disagreement is reported with the
+config name, stream seed, and op index so the exact failing stream can
+be replayed::
+
+    ops = make_stream(seed)          # in this module
+    # re-apply ops[:op_index + 1] to the implicated store
+
+The two GraphTinker kernels additionally finish with bit-identical
+``AccessStats`` and a clean full fsck — the vector kernel's contract
+(see ``repro/core/kernels.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import GTConfig, StingerConfig
+from repro.core.graphtinker import GraphTinker
+from repro.errors import VertexNotFoundError
+from repro.stinger import Stinger
+from tests.reference import ReferenceGraph
+
+# ≥5 configurations, chosen to exercise every feature combination the
+# kernels branch on: tiny geometry (fast branch-outs), each feature
+# toggled off, and compacting deletes (vector delete must delegate).
+CONFIGS = [
+    ("default", GTConfig()),
+    ("small-geom", GTConfig(pagewidth=16, subblock=8, workblock=4,
+                            max_generations=64)),
+    ("no-sgh", GTConfig(pagewidth=16, subblock=4, workblock=2,
+                        enable_sgh=False)),
+    ("no-cal", GTConfig(pagewidth=16, subblock=4, workblock=2,
+                        enable_cal=False)),
+    ("no-rhh", GTConfig(pagewidth=16, subblock=4, workblock=2,
+                        enable_rhh=False)),
+    ("compact-delete", GTConfig(pagewidth=16, subblock=8, workblock=4,
+                                compact_on_delete=True, cal_block_size=4)),
+]
+SEEDS = [2, 23, 4242]
+
+N_VERTICES = 120
+N_SEGMENTS = 5
+
+
+def make_stream(seed: int):
+    """The seeded op stream: a list of ("insert", edges, weights),
+    ("delete", edges), or ("probe", vertices) segments."""
+    rng = np.random.default_rng(seed)
+    ops = []
+    for _ in range(N_SEGMENTS):
+        n = int(rng.integers(60, 300))
+        edges = np.column_stack(
+            [rng.integers(0, N_VERTICES, n),
+             rng.integers(0, N_VERTICES // 4, n)]  # duplicate-heavy dst range
+        ).astype(np.int64)
+        ops.append(("insert", edges, rng.random(n)))
+
+        sl = rng.integers(0, N_VERTICES, 25)
+        ops.append(("insert", np.column_stack([sl, sl]).astype(np.int64),
+                    rng.random(25)))
+
+        nd = int(rng.integers(30, 150))
+        dels = np.column_stack(
+            [rng.integers(0, N_VERTICES, nd),
+             rng.integers(0, N_VERTICES // 4, nd)]
+        ).astype(np.int64)
+        # double-delete half of them and aim a few at never-inserted ids
+        dels = np.vstack([dels, dels[: nd // 2],
+                          np.array([[N_VERTICES + 5, 0], [0, 10_000]])])
+        ops.append(("delete", dels))
+
+        ops.append(("probe", rng.integers(0, N_VERTICES + 2, 40)))
+    return ops
+
+
+def _probe(systems, ref: ReferenceGraph, vertices, ctx: str) -> None:
+    for v in vertices.tolist():
+        want_deg = ref.degree(v)
+        want_nbrs = ref.neighbors(v)
+        for name, store in systems:
+            assert store.degree(v) == want_deg, f"{ctx} degree({v}) [{name}]"
+            try:
+                dsts, weights = store.neighbors(v)
+            except VertexNotFoundError:
+                # GraphTinker raises for a never-seen source; the oracle
+                # must agree it has no neighbours.
+                assert not want_nbrs, f"{ctx} neighbors({v}) raised [{name}]"
+                continue
+            assert set(dsts.tolist()) == want_nbrs, f"{ctx} neighbors({v}) [{name}]"
+            for d, w in zip(dsts.tolist(), weights.tolist()):
+                assert ref.has_edge(v, d), f"{ctx} phantom edge ({v},{d}) [{name}]"
+                assert w == pytest.approx(ref.edge_weight(v, d)), \
+                    f"{ctx} edge_weight({v},{d}) [{name}]"
+            # spot-check has_edge on hits and a guaranteed miss
+            for d in list(want_nbrs)[:3]:
+                assert store.has_edge(v, d), f"{ctx} has_edge({v},{d}) [{name}]"
+            assert not store.has_edge(v, 10_000), f"{ctx} has_edge miss [{name}]"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name,cfg", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_differential(name, cfg, seed):
+    systems = [
+        ("gt-scalar", GraphTinker(cfg.with_(kernel="scalar"))),
+        ("gt-vector", GraphTinker(cfg.with_(kernel="vector"))),
+        ("stinger", Stinger(StingerConfig(edgeblock_size=4))),
+    ]
+    ref = ReferenceGraph()
+
+    for op_index, op in enumerate(make_stream(seed)):
+        ctx = f"config={name} seed={seed} op_index={op_index}"
+        if op[0] == "insert":
+            _, edges, weights = op
+            want = sum(ref.insert_edge(s, d, w) for (s, d), w
+                       in zip(edges.tolist(), weights.tolist()))
+            for sys_name, store in systems:
+                got = store.insert_batch(edges, weights)
+                assert got == want, f"{ctx}: insert_batch [{sys_name}]"
+        elif op[0] == "delete":
+            edges = op[1]
+            want = sum(ref.delete_edge(s, d) for s, d in edges.tolist())
+            for sys_name, store in systems:
+                got = store.delete_batch(edges)
+                assert got == want, f"{ctx}: delete_batch [{sys_name}]"
+        else:
+            _probe(systems, ref, op[1], ctx)
+        for sys_name, store in systems:
+            assert store.n_edges == ref.n_edges, f"{ctx}: n_edges [{sys_name}]"
+
+    # Kernel contract: scalar and vector finish bit-identical and clean.
+    scalar, vector = systems[0][1], systems[1][1]
+    sa, sb = scalar.stats.as_dict(), vector.stats.as_dict()
+    assert sa == sb, (f"config={name} seed={seed}: stats diverge "
+                      f"{ {k: (sa[k], sb[k]) for k in sa if sa[k] != sb[k]} }")
+    assert scalar.memory_blocks() == vector.memory_blocks()
+    for label, store in systems[:2]:
+        report = store.fsck(level="full")
+        assert report.ok, f"config={name} seed={seed} [{label}]: {report.summary()}"

@@ -100,6 +100,76 @@ class TestMeasurement:
         assert makespans[8] < makespans[1]
 
 
+class TestPartitionSeeds:
+    """The interval hash is explicitly seedable; the seed moves vertices
+    between partitions but never changes the logical graph."""
+
+    @pytest.mark.parametrize("seed", [0, 11, 0xDEAD])
+    def test_seed_is_deterministic(self, cfg, random_edges, seed):
+        a = PartitionedGraphTinker(4, cfg, seed=seed)
+        b = PartitionedGraphTinker(4, cfg, seed=seed)
+        pa = a.partition_batch(random_edges)
+        pb = b.partition_batch(random_edges)
+        for x, y in zip(pa, pb):
+            assert np.array_equal(x, y)
+
+    def test_different_seeds_same_logical_graph(self, cfg, random_edges):
+        stores = [PartitionedGraphTinker(4, cfg, seed=s) for s in (0, 11)]
+        for store in stores:
+            store.insert_batch(random_edges)
+        a, b = stores
+        assert a.n_edges == b.n_edges
+        for s, d in random_edges[:200].tolist():
+            assert a.has_edge(s, d) and b.has_edge(s, d)
+        # ...but the placement genuinely differs between the two seeds
+        sizes = [
+            tuple(p.shape[0] for p in store.partition_batch(random_edges))
+            for store in stores
+        ]
+        assert sizes[0] != sizes[1]
+
+
+class TestThreadedEquivalence:
+    """``max_workers`` must be pure mechanism: per-partition deltas,
+    merged stats, and every instance's contents are identical between
+    the serial and ThreadPoolExecutor paths."""
+
+    def test_rejects_bad_max_workers(self, cfg):
+        with pytest.raises(ConfigError):
+            PartitionedGraphTinker(2, cfg, max_workers=0)
+
+    @pytest.mark.parametrize("seed", [0, 97])
+    @pytest.mark.parametrize("max_workers", [2, 4, 8])
+    def test_threaded_matches_serial(self, cfg, random_edges, seed, max_workers):
+        serial = PartitionedGraphTinker(4, cfg, seed=seed)
+        threaded = PartitionedGraphTinker(4, cfg, seed=seed,
+                                          max_workers=max_workers)
+        for op, batch in (("insert_batch", random_edges),
+                          ("delete_batch", random_edges[:500]),
+                          ("insert_batch", random_edges[:800])):
+            d_serial = getattr(serial, op)(batch)
+            d_threaded = getattr(threaded, op)(batch)
+            assert ([d.as_dict() for d in d_serial]
+                    == [d.as_dict() for d in d_threaded]), op
+        assert serial.n_edges == threaded.n_edges
+        assert serial.merged_stats().as_dict() == threaded.merged_stats().as_dict()
+        for inst_s, inst_t in zip(serial.instances, threaded.instances):
+            s1, d1, w1 = inst_s.edge_arrays()
+            s2, d2, w2 = inst_t.edge_arrays()
+            assert (sorted(zip(s1.tolist(), d1.tolist(), w1.tolist()))
+                    == sorted(zip(s2.tolist(), d2.tolist(), w2.tolist())))
+        threaded.check_invariants()
+
+    def test_threaded_stinger(self, random_edges):
+        serial = PartitionedStinger(3, StingerConfig(edgeblock_size=4))
+        threaded = PartitionedStinger(3, StingerConfig(edgeblock_size=4),
+                                      max_workers=3)
+        serial.insert_batch(random_edges)
+        threaded.insert_batch(random_edges)
+        assert serial.n_edges == threaded.n_edges
+        assert serial.merged_stats().as_dict() == threaded.merged_stats().as_dict()
+
+
 class TestPartitionedMachine:
     """Stateful property test: the partitioned store behaves like one
     logical graph regardless of partition count."""

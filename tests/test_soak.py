@@ -16,6 +16,10 @@ from repro import GraphTinker, GTConfig
 from repro.engine import BFS, HybridEngine
 from tests.reference import ReferenceGraph, assert_store_matches
 
+# Tier 2: deselected by the default pytest run (see pyproject.toml);
+# run with `pytest -m soak` or `-m ""`.
+pytestmark = pytest.mark.soak
+
 
 @pytest.mark.parametrize("compact", [False, True])
 def test_soak_mixed_session(compact):
