@@ -14,7 +14,7 @@ modeled numbers are the primary reproduction metric (see DESIGN.md §1).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 import numpy as np
@@ -33,17 +33,21 @@ from repro.workloads.streams import EdgeStream
 
 def make_store(kind: str, gt_config: GTConfig | None = None,
                stinger_config: StingerConfig | None = None,
-               kernel: str | None = None):
+               kernel: str | None = None,
+               snapshot: bool | None = None):
     """Build a store by name: ``"graphtinker"``, ``"gt_nocal"``,
     ``"gt_nosgh"``, ``"gt_plain"`` (both off), ``"stinger"``.
 
     ``kernel`` overrides the batch-ingest kernel of the GraphTinker kinds
-    (``"scalar"``/``"vector"``); it never changes any modeled number, only
-    wall-clock speed, and is ignored by the STINGER baseline.
+    (``"scalar"``/``"vector"``); ``snapshot`` attaches the CSR analytics
+    snapshot (all kinds, STINGER included).  Neither ever changes any
+    modeled number, only wall-clock speed.
     """
     cfg = gt_config or GTConfig()
     if kernel is not None:
         cfg = cfg.with_(kernel=kernel)
+    if snapshot is not None:
+        cfg = cfg.with_(snapshot=snapshot)
     if kind == "graphtinker":
         return GraphTinker(cfg)
     if kind == "gt_nocal":
@@ -53,7 +57,10 @@ def make_store(kind: str, gt_config: GTConfig | None = None,
     if kind == "gt_plain":
         return GraphTinker(cfg.with_(enable_cal=False, enable_sgh=False))
     if kind == "stinger":
-        return Stinger(stinger_config or StingerConfig())
+        scfg = stinger_config or StingerConfig()
+        if snapshot is not None:
+            scfg = replace(scfg, snapshot=snapshot)
+        return Stinger(scfg)
     raise ValueError(f"unknown store kind {kind!r}")
 
 

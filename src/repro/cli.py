@@ -138,9 +138,10 @@ def cmd_analytics(args) -> int:
     edges = _edges_for(args)
     if undirected:
         edges = symmetrize(edges)
-    store = make_store(args.system)
+    store = make_store(args.system, snapshot=args.snapshot)
     store.insert_batch(edges)
     engine = HybridEngine(store, program_cls(), policy=args.policy)
+    root = None
     if needs_root:
         root = int(highest_degree_roots(edges, 1)[0])
         engine.reset(roots=[root])
@@ -155,12 +156,47 @@ def cmd_analytics(args) -> int:
     delta = store.stats.delta(before)
     log.info(kv("analytics finished", algorithm=args.algorithm,
                 iterations=result.n_iterations))
-    print(f"{args.algorithm} on {args.dataset} via {args.system} [{args.policy}]:")
+    print(f"{args.algorithm} on {args.dataset} via {args.system} [{args.policy}]"
+          f"{' +snapshot' if args.snapshot else ''}:")
     print(f"  iterations: {result.n_iterations}  modes: {result.modes_used()}")
     print(f"  modeled throughput: {MODEL.throughput(store.n_edges, delta):.3f} "
           f"edges/access-cycle")
     finite = np.isfinite(engine.values)
     print(f"  vertices with a result: {int(finite.sum())}")
+    if args.json:
+        # Everything a snapshot-on/off equivalence check needs: the
+        # modeled access deltas, the per-iteration trace, and a digest of
+        # the full property vector.  Only the "snapshot" key may differ
+        # between a --snapshot and a plain run (CI diffs the rest).
+        import hashlib
+        import json
+
+        report = {
+            "dataset": args.dataset,
+            "algorithm": args.algorithm,
+            "system": args.system,
+            "policy": args.policy,
+            "snapshot": bool(args.snapshot),
+            "root": root,
+            "iterations": result.n_iterations,
+            "modes": result.modes_used(),
+            "edges_processed": result.edges_processed,
+            "trace": [
+                {"mode": r.mode, "n_active": r.n_active,
+                 "edges_processed": r.edges_processed,
+                 "n_changed": r.n_changed,
+                 "stats": r.stats_delta.as_dict()}
+                for r in result.iterations
+            ],
+            "stats": delta.as_dict(),
+            "finite_vertices": int(finite.sum()),
+            "values_sha256": hashlib.sha256(
+                np.ascontiguousarray(engine.values).tobytes()).hexdigest(),
+        }
+        target = Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote JSON report to {args.json}")
     return 0
 
 
@@ -448,9 +484,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--edges", type=int, default=48_000)
     p.add_argument("--algorithm", default="bfs", choices=sorted(_ALGORITHMS))
     p.add_argument("--policy", default="hybrid",
-                   choices=["hybrid", "full", "incremental"])
+                   choices=["hybrid", "full", "incremental", "full_vc"])
     p.add_argument("--system", default="graphtinker",
                    choices=["graphtinker", "stinger"])
+    p.add_argument("--snapshot", action="store_true",
+                   help="attach the CSR analytics snapshot (bit-identical "
+                        "results and modeled costs; wall-clock only)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the result (trace, stats, value digest) as "
+                        "JSON — only the 'snapshot' key differs between a "
+                        "--snapshot and a plain run")
     p.set_defaults(func=cmd_analytics)
 
     p = sub.add_parser("probe", parents=[common],

@@ -87,6 +87,15 @@ class GTConfig:
         store state, bit-identical :class:`~repro.core.stats.AccessStats`
         — which tests/test_kernels.py enforces; the switch therefore
         only ever changes wall-clock speed, never any modeled number.
+    snapshot:
+        Attach the incrementally-maintained CSR analytics snapshot
+        (:class:`~repro.engine.snapshot.AnalyticsSnapshot`) at
+        construction, turning the engine's incremental / vertex-centric
+        frontier loads into single vectorized gathers.  Same contract as
+        ``kernel``: bit-identical results and bit-identical modeled
+        ``AccessStats`` with the feature on or off — only wall-clock
+        changes (the analytics oracle in tests/test_differential.py
+        enforces this).
     """
 
     pagewidth: int = DEFAULT_PAGEWIDTH
@@ -102,6 +111,7 @@ class GTConfig:
     initial_vertices: int = 16
     seed: int = 0x9E3779B9
     kernel: str = "vector"
+    snapshot: bool = False
 
     def __post_init__(self) -> None:
         if not _is_power_of_two(self.pagewidth):
@@ -146,10 +156,16 @@ class GTConfig:
 
 @dataclass(frozen=True)
 class StingerConfig:
-    """Configuration of the STINGER baseline (Sec. V.A: edgeblock size 16)."""
+    """Configuration of the STINGER baseline (Sec. V.A: edgeblock size 16).
+
+    ``snapshot`` attaches the CSR analytics snapshot, exactly as on
+    :class:`GTConfig` — bit-identical results and modeled costs, faster
+    wall-clock frontier gathers.
+    """
 
     edgeblock_size: int = DEFAULT_STINGER_EDGEBLOCK
     initial_vertices: int = 16
+    snapshot: bool = False
 
     def __post_init__(self) -> None:
         if self.edgeblock_size <= 0:

@@ -62,6 +62,49 @@ class GraphTinker:
         self.eba = EdgeblockArray(self.config, self.stats)
         self.cal = CoarseAdjacencyList(self.config, self.stats) if self.config.enable_cal else None
         self.vpa = VertexPropertyArray(self.config.initial_vertices)
+        self._analytics_snapshot = None
+        if self.config.snapshot:
+            self.enable_snapshot()
+
+    # ------------------------------------------------------------------ #
+    # analytics snapshot (engine acceleration; see repro.engine.snapshot)
+    # ------------------------------------------------------------------ #
+    def enable_snapshot(self):
+        """Attach (and return) the incrementally-maintained CSR view.
+
+        The engine's incremental / vertex-centric loads then become
+        single vectorized gathers; results and modeled AccessStats are
+        bit-identical either way (the snapshot's charge-mirror contract).
+        Imported lazily so stores without the feature never load the
+        engine package.
+        """
+        if self._analytics_snapshot is None:
+            from repro.engine.snapshot import AnalyticsSnapshot
+
+            self._analytics_snapshot = AnalyticsSnapshot(self)
+        return self._analytics_snapshot
+
+    def disable_snapshot(self) -> None:
+        """Detach the CSR view (subsequent loads use the native paths)."""
+        self._analytics_snapshot = None
+
+    @property
+    def analytics_snapshot(self):
+        """The attached :class:`AnalyticsSnapshot`, or ``None``."""
+        return self._analytics_snapshot
+
+    def _snapshot_mark_batch(self, srcs: np.ndarray) -> None:
+        """Mark a batch's touched dense rows dirty (uncharged bookkeeping)."""
+        snap = self._analytics_snapshot
+        if snap is None:
+            return
+        srcs = np.unique(np.asarray(srcs, dtype=np.int64))
+        if self.sgh is not None:
+            dense = self.sgh.peek_array(srcs)
+            dense = dense[dense >= 0]
+        else:
+            dense = srcs[(srcs >= 0) & (srcs < self.eba.n_vertices)]
+        snap.mark_dirty_many(dense)
 
     # ------------------------------------------------------------------ #
     # id translation
@@ -125,6 +168,9 @@ class GraphTinker:
         self._validate_ids(src, dst)
         dense_src = self._dense(src, create=True)
         is_new, location = self.eba.insert(dense_src, dst, weight)
+        if self._analytics_snapshot is not None:
+            # Weight updates change row data too, so mark unconditionally.
+            self._analytics_snapshot.mark_dirty(dense_src)
         if is_new:
             self.vpa.add_degree(dense_src, 1)
             if self.cal is not None:
@@ -173,6 +219,10 @@ class GraphTinker:
         m = min(edges.shape[0], weights.shape[0])
         if kern == "vector" and m:
             new = kernels.insert_batch_vector(self, edges[:m], weights[:m])
+            # The scalar path marks per-edge inside insert_edge; the
+            # vector kernel mutates the arrays wholesale, so mark its
+            # touched sources at batch granularity.
+            self._snapshot_mark_batch(edges[:m, 0])
         else:
             new = self._insert_batch_scalar(edges, weights)
         if before is not None:
@@ -199,6 +249,8 @@ class GraphTinker:
         cal_ptr = self.eba.delete(dense_src, dst)
         if cal_ptr is None:
             return False
+        if self._analytics_snapshot is not None:
+            self._analytics_snapshot.mark_dirty(dense_src)
         self.vpa.add_degree(dense_src, -1)
         if self.cal is not None and cal_ptr[0] >= 0:
             if self.config.compact_on_delete:
@@ -234,6 +286,7 @@ class GraphTinker:
         )
         if use_vector:
             deleted = kernels.delete_batch_vector(self, edges)
+            self._snapshot_mark_batch(edges[:, 0])
         else:
             deleted = 0
             for s, d in zip(edges[:, 0].tolist(), edges[:, 1].tolist()):
@@ -304,6 +357,25 @@ class GraphTinker:
     def neighbors_dense(self, dense_src: int) -> tuple[np.ndarray, np.ndarray]:
         """Internal-id variant of :meth:`neighbors` (engine hot path)."""
         return self.eba.neighbors(dense_src)
+
+    def neighbors_many(
+        self, active: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched frontier gather: ``(src, dst, weight)`` for many sources.
+
+        ``active`` is sanitized first (sorted unique, negatives dropped),
+        so duplicate frontier ids never double-gather.  With the
+        analytics snapshot attached this is one vectorized CSR gather;
+        otherwise it falls back to the per-vertex loop.  Modeled
+        AccessStats charges are bit-identical either way: one SGH probe
+        per active id (the degree check) plus, per vertex with out-edges,
+        one more probe and its edgeblock-tree walk.
+        """
+        from repro.engine.snapshot import gather_active_scalar, sanitize_active
+
+        if self._analytics_snapshot is not None:
+            return self._analytics_snapshot.gather_active(active)
+        return gather_active_scalar(self, sanitize_active(active))
 
     def edges(self) -> Iterator[tuple[int, int, float]]:
         """Yield every live edge as ``(src, dst, weight)`` (original ids)."""

@@ -77,6 +77,21 @@ class ScatterGatherHash:
         self.stats.hash_lookups += 1
         return self._forward.get(int(original))
 
+    def peek_array(self, originals: np.ndarray) -> np.ndarray:
+        """Uncharged bulk original->dense lookup (-1 where unknown).
+
+        Bookkeeping only — no ``hash_lookups`` charge — so the analytics
+        snapshot's dirty tracking can resolve a batch's touched rows
+        without perturbing the modeled AccessStats.  Never use this on a
+        cost-accounted retrieval path.
+        """
+        fwd = self._forward
+        out = np.fromiter(
+            (fwd.get(o, -1) for o in np.asarray(originals, dtype=np.int64).tolist()),
+            dtype=np.int64, count=len(originals),
+        )
+        return out
+
     def original_id(self, hashed: int) -> int:
         """Inverse mapping: dense id back to the original vertex id."""
         if not (0 <= hashed < self._count):

@@ -577,6 +577,12 @@ def repair_graph(gt, report: VerifyReport | None = None) -> RepairReport:
         with obs.span("verify.repair", violations=len(report.violations)):
             if not report.ok:
                 _apply_repairs(gt, report, out)
+                # Repairs move cells behind the stores' mutation hooks, so
+                # any attached analytics snapshot must re-measure from
+                # scratch rather than trust its dirty-row tracking.
+                snap = getattr(gt, "analytics_snapshot", None)
+                if snap is not None:
+                    snap.invalidate()
                 out.final = verify_graph(gt, level="full")
             _publish_repair(out)
     finally:

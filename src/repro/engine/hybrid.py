@@ -38,7 +38,10 @@ from repro.obs.tracing import span as obs_span
 POLICY_FULL = "full"
 POLICY_INCREMENTAL = "incremental"
 POLICY_HYBRID = "hybrid"
-_POLICIES = (POLICY_FULL, POLICY_INCREMENTAL, POLICY_HYBRID)
+#: Fixed vertex-centric full processing (paper Sec. IV.A): every
+#: iteration loads via :func:`~repro.engine.modes.load_edges_full_vertex_centric`.
+POLICY_FULL_VC = "full_vc"
+_POLICIES = (POLICY_FULL, POLICY_INCREMENTAL, POLICY_HYBRID, POLICY_FULL_VC)
 
 
 @dataclass
@@ -195,6 +198,8 @@ class HybridEngine:
         ``T = D / E`` where ``D`` is the active vertices' total
         out-degree — a direct estimate of incremental-mode work.
         """
+        if self.policy == POLICY_FULL_VC:
+            return modes.FULL_VC, float("nan")
         if not self.program.monotone:
             return modes.FULL, float("inf")
         if self.policy == POLICY_FULL:
@@ -249,7 +254,9 @@ class HybridEngine:
     def compute(self) -> ComputeResult:
         """Iterate the GAS program to a fixed point from the active set."""
         with obs_span("engine.compute", stats=self.store.stats,
-                      program=self.program.name, policy=self.policy):
+                      program=self.program.name, policy=self.policy,
+                      snapshot=getattr(self.store, "analytics_snapshot", None)
+                      is not None):
             result = ComputeResult()
             iteration = 0
             while self._active.size:
@@ -265,7 +272,11 @@ class HybridEngine:
             self._publish_result(result)
         return result
 
-    _MODE_METRIC = {modes.FULL: "full", modes.INCREMENTAL: "incremental"}
+    _MODE_METRIC = {
+        modes.FULL: "full",
+        modes.INCREMENTAL: "incremental",
+        modes.FULL_VC: "full_vc",
+    }
 
     def _publish_result(self, result: ComputeResult) -> None:
         """Count the inference box's per-iteration mode decisions."""
@@ -304,6 +315,8 @@ class HybridEngine:
         # ---- processing phase (LoadEdges + pipeline) -------------------
         if mode == modes.FULL:
             src, dst, weight = modes.load_edges_full(store)
+        elif mode == modes.FULL_VC:
+            src, dst, weight = modes.load_edges_full_vertex_centric(store)
         else:
             src, dst, weight = modes.load_edges_incremental(store, active)
         edges_processed = int(src.shape[0])

@@ -21,6 +21,8 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.engine.snapshot import gather_active_scalar, sanitize_active
+
 #: Mode identifiers (also used in iteration traces and reports).
 FULL = "FP"
 INCREMENTAL = "IP"
@@ -54,7 +56,17 @@ def load_edges_full(store: Store) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     is what makes full mode not free when the frontier is tiny and what
     makes sparse layouts pay — the trade-offs the paper's T = A/E
     threshold and PAGEWIDTH sweeps measure.
+
+    When the store carries an analytics snapshot *and* its native full
+    load is itself the per-vertex sweep (STINGER, CAL-less GraphTinker),
+    the sweep is served from the CSR mirror — bit-identical data and
+    charges, one gather instead of a Python loop.  A CAL-backed
+    GraphTinker streams in CAL insertion order, which the CSR view does
+    not reproduce, so that path stays native.
     """
+    snap = getattr(store, "analytics_snapshot", None)
+    if snap is not None and snap.serves_full:
+        return snap.gather_all()
     return store.analytics_edges()
 
 
@@ -70,7 +82,14 @@ def load_edges_full_vertex_centric(
     against :func:`load_edges_full` quantifies exactly what the
     edge-centric + CAL combination buys — see
     ``benchmarks/bench_vertex_centric.py``.
+
+    With an analytics snapshot attached the sweep is one CSR gather —
+    the per-vertex order and per-row charges are exactly those of the
+    loop below, so traces and AccessStats stay bit-identical.
     """
+    snap = getattr(store, "analytics_snapshot", None)
+    if snap is not None:
+        return snap.gather_all()
     if hasattr(store, "eba"):
         vertices = np.arange(store.eba.n_vertices, dtype=np.int64)
         srcs: list[np.ndarray] = []
@@ -103,19 +122,15 @@ def load_edges_incremental(
     Vertices with no out-edges (pure sinks, or ids never inserted as a
     source) contribute nothing; GraphTinker resolves them with one SGH
     probe, STINGER with one Logical-Vertex-Array read.
+
+    The frontier is sanitized first — duplicates must not double-gather
+    (or double-charge) a vertex, and negative ids are dropped rather
+    than allowed to index degree arrays from the end.  Stores exposing
+    ``neighbors_many`` (GraphTinker, STINGER) serve the whole gather in
+    one batched call, vectorized when their analytics snapshot is
+    attached; the scalar fallback runs the identical per-vertex loop.
     """
-    srcs: list[np.ndarray] = []
-    dsts: list[np.ndarray] = []
-    weights: list[np.ndarray] = []
-    for v in np.asarray(active, dtype=np.int64).tolist():
-        if store.degree(v) == 0:
-            continue
-        dst, weight = store.neighbors(v)
-        if dst.shape[0]:
-            srcs.append(np.full(dst.shape[0], v, dtype=np.int64))
-            dsts.append(dst)
-            weights.append(weight)
-    if not srcs:
-        empty_i = np.empty(0, dtype=np.int64)
-        return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64)
-    return np.concatenate(srcs), np.concatenate(dsts), np.concatenate(weights)
+    gather = getattr(store, "neighbors_many", None)
+    if gather is not None:
+        return gather(active)
+    return gather_active_scalar(store, sanitize_active(active))

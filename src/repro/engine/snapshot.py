@@ -1,0 +1,356 @@
+"""The analytics snapshot layer — an incrementally-maintained CSR view.
+
+Every incremental / vertex-centric analytics load used to gather frontier
+edges through a per-vertex Python loop over the store's retrieval path
+(`eba.neighbors` tree walks for GraphTinker, chain walks for STINGER) —
+the dominant wall-clock cost of BFS/SSSP/CC once ingest is vectorized.
+This module keeps a CSR mirror of the store next to it — degree-prefix
+offsets plus dense neighbor/weight arrays — so a whole frontier becomes
+one fancy-indexing gather.  It is the update-format/analysis-format
+hybrid of GraphTango and DGAP's CSR-like analysis view, adapted to the
+reproduction's cost-model discipline.
+
+**The charge-mirror contract** (same license as the PR-4 batch kernels):
+the snapshot must be *behaviourally invisible*.  With the feature on or
+off the engine produces bit-identical vertex properties, iteration
+traces, AND bit-identical modeled :class:`~repro.core.stats.AccessStats`
+— the only permitted effect is wall-clock speed.  This works because the
+stores' retrieval paths charge deterministically per vertex: walking a
+vertex's edgeblock tree (or STINGER chain) costs the same counter bumps
+every time as long as that vertex's structure is unchanged.  So each CSR
+row carries the exact ``AccessStats`` delta one native per-vertex
+retrieval would charge (measured by running the native walk once, with
+the live counters snapshotted and restored), and a batched gather replays
+the summed charges of exactly the rows the native loop would have
+visited.
+
+**Dirty tracking**: stores mark a dense row dirty on every mutation that
+touches it (single-edge calls mark inline; batch kernels mark the batch's
+source set).  A gather first *syncs*: new vertices extend the row table,
+dirty rows are re-measured (data, order, and charge all come from the
+native walk, so row contents are bit-identical to a fresh per-vertex
+call), and the flat CSR arrays are rebuilt once.  Steady-state churn
+therefore patches only touched rows and pays one concatenation per
+batch, not one tree walk per frontier vertex per iteration.
+
+Observability (when :mod:`repro.obs` is enabled):
+
+* ``engine.snapshot.hits`` — gathers served from the snapshot,
+* ``engine.snapshot.rebuilds`` — flat CSR rebuilds,
+* ``engine.snapshot.patched_rows`` — dirty rows re-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as _dataclass_fields
+
+import numpy as np
+
+from repro.core.stats import AccessStats
+from repro.obs import hooks as obs_hooks
+
+#: AccessStats field names, in declaration order — the columns of the
+#: per-row charge matrix.
+STAT_FIELDS: tuple[str, ...] = tuple(f.name for f in _dataclass_fields(AccessStats))
+_N_FIELDS = len(STAT_FIELDS)
+
+
+def _empty_triple() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    empty_i = np.empty(0, dtype=np.int64)
+    return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64)
+
+
+def sanitize_active(active: np.ndarray) -> np.ndarray:
+    """Deduplicate and validate a frontier: sorted unique, non-negative.
+
+    Duplicate frontier ids must not double-gather (or double-charge) a
+    vertex's edges, and negative ids are dropped outright — they are
+    reserved sentinels in the stores and would otherwise index degree
+    arrays from the end.  Engine-produced active sets are already sorted
+    and unique (``np.flatnonzero`` / ``np.union1d``), so for engine
+    traffic this is an order-preserving no-op.
+    """
+    active = np.unique(np.asarray(active, dtype=np.int64).reshape(-1))
+    if active.size and active[0] < 0:
+        active = active[np.searchsorted(active, 0):]
+    return active
+
+
+def gather_active_scalar(store, active: np.ndarray):
+    """Reference per-vertex frontier gather (the pre-snapshot load path).
+
+    ``active`` must already be sanitized.  One ``degree`` probe per
+    active vertex, one ``neighbors`` walk per vertex that has out-edges —
+    the exact call (and therefore charge) sequence the snapshot's batched
+    gather mirrors.
+    """
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    for v in active.tolist():
+        if store.degree(v) == 0:
+            continue
+        dst, weight = store.neighbors(v)
+        if dst.shape[0]:
+            srcs.append(np.full(dst.shape[0], v, dtype=np.int64))
+            dsts.append(dst)
+            weights.append(weight)
+    if not srcs:
+        return _empty_triple()
+    return np.concatenate(srcs), np.concatenate(dsts), np.concatenate(weights)
+
+
+class AnalyticsSnapshot:
+    """Incrementally-maintained CSR view over one store.
+
+    Works for both :class:`~repro.core.graphtinker.GraphTinker` (rows are
+    dense SGH ids; tree walks measured through ``eba.neighbors``) and
+    :class:`~repro.stinger.Stinger` (rows are raw source ids; chain walks
+    measured through ``neighbors``).  Attach via the stores'
+    ``enable_snapshot()`` or the ``snapshot=True`` config flag.
+    """
+
+    def __init__(self, store):
+        self.store = store
+        self._is_gt = hasattr(store, "eba")
+        self._rows_dst: list[np.ndarray] = []
+        self._rows_weight: list[np.ndarray] = []
+        self._charges = np.zeros((0, _N_FIELDS), dtype=np.int64)
+        self._dirty: set[int] = set()
+        self._all_dirty = False
+        self._flat_ok = False
+        self._indptr = np.zeros(1, dtype=np.int64)
+        self._dst = np.empty(0, dtype=np.int64)
+        self._weight = np.empty(0, dtype=np.float64)
+        # original -> dense translation cache (GraphTinker + SGH only)
+        self._xlat_count = -1
+        self._xlat_originals = np.empty(0, dtype=np.int64)
+        self._xlat_dense = np.empty(0, dtype=np.int64)
+        #: lifetime counters (mirrored to obs metrics when enabled)
+        self.hits = 0
+        self.rebuilds = 0
+        self.patched_rows = 0
+
+    # ------------------------------------------------------------------ #
+    # dirty tracking (store hooks)
+    # ------------------------------------------------------------------ #
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows_dst)
+
+    def _store_rows(self) -> int:
+        return self.store.eba.n_vertices if self._is_gt else self.store.n_vertices
+
+    def mark_dirty(self, row: int) -> None:
+        """One mutation touched dense row ``row``; re-measure it on next use."""
+        self._dirty.add(int(row))
+
+    def mark_dirty_many(self, rows: np.ndarray) -> None:
+        """Batch-kernel hook: mark every touched dense row at once."""
+        self._dirty.update(np.unique(np.asarray(rows, dtype=np.int64)).tolist())
+
+    def invalidate(self) -> None:
+        """Drop everything cached (e.g. after an fsck repair rebuilt rows)."""
+        self._all_dirty = True
+        self._flat_ok = False
+        self._xlat_count = -1
+
+    # ------------------------------------------------------------------ #
+    # sync: patch dirty rows, rebuild the flat CSR arrays
+    # ------------------------------------------------------------------ #
+    def _measure_row(self, row: int) -> None:
+        """Re-run the native per-vertex walk for ``row``, capturing its data
+        and the exact AccessStats delta it charges (then restoring the
+        live counters — measuring must not perturb the accounting)."""
+        stats = self.store.stats
+        before = [getattr(stats, name) for name in STAT_FIELDS]
+        if self._is_gt:
+            dst, weight = self.store.eba.neighbors(row)
+        else:
+            dst, weight = self.store.neighbors(row)
+        for i, name in enumerate(STAT_FIELDS):
+            self._charges[row, i] = getattr(stats, name) - before[i]
+            setattr(stats, name, before[i])
+        self._rows_dst[row] = dst
+        self._rows_weight[row] = weight
+
+    def _sync(self) -> None:
+        n_store = self._store_rows()
+        n = len(self._rows_dst)
+        if n_store > n:
+            for row in range(n, n_store):
+                self._rows_dst.append(np.empty(0, dtype=np.int64))
+                self._rows_weight.append(np.empty(0, dtype=np.float64))
+                self._dirty.add(row)
+            self._charges = np.vstack(
+                [self._charges, np.zeros((n_store - n, _N_FIELDS), dtype=np.int64)]
+            )
+            self._flat_ok = False
+        if self._all_dirty:
+            self._dirty.update(range(len(self._rows_dst)))
+            self._all_dirty = False
+        if self._dirty:
+            for row in sorted(self._dirty):
+                self._measure_row(row)
+            self.patched_rows += len(self._dirty)
+            if obs_hooks.enabled:
+                self._counter("patched_rows", len(self._dirty))
+            self._dirty.clear()
+            self._flat_ok = False
+        if not self._flat_ok:
+            counts = np.fromiter(
+                (a.shape[0] for a in self._rows_dst),
+                dtype=np.int64, count=len(self._rows_dst),
+            )
+            self._indptr = np.zeros(counts.shape[0] + 1, dtype=np.int64)
+            np.cumsum(counts, out=self._indptr[1:])
+            if self._rows_dst:
+                self._dst = np.concatenate(self._rows_dst)
+                self._weight = np.concatenate(self._rows_weight)
+            else:
+                self._dst = np.empty(0, dtype=np.int64)
+                self._weight = np.empty(0, dtype=np.float64)
+            self._flat_ok = True
+            self.rebuilds += 1
+            if obs_hooks.enabled:
+                self._counter("rebuilds", 1)
+
+    @staticmethod
+    def _counter(suffix: str, by: int) -> None:
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(f"engine.snapshot.{suffix}").inc(by)
+
+    def _count_hit(self) -> None:
+        self.hits += 1
+        if obs_hooks.enabled:
+            self._counter("hits", 1)
+
+    # ------------------------------------------------------------------ #
+    # charge replay
+    # ------------------------------------------------------------------ #
+    def _apply_charge(self, vec: np.ndarray) -> None:
+        stats = self.store.stats
+        for i, name in enumerate(STAT_FIELDS):
+            value = int(vec[i])
+            if value:
+                setattr(stats, name, getattr(stats, name) + value)
+
+    # ------------------------------------------------------------------ #
+    # CSR gathers
+    # ------------------------------------------------------------------ #
+    def _take_rows(
+        self, rows: np.ndarray, src_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gather the CSR segments of ``rows``; sources repeat ``src_ids``."""
+        starts = self._indptr[rows]
+        counts = self._indptr[rows + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return _empty_triple()
+        ends = np.cumsum(counts)
+        base = np.repeat(starts - (ends - counts), counts)
+        idx = base + np.arange(total, dtype=np.int64)
+        return np.repeat(src_ids, counts), self._dst[idx], self._weight[idx]
+
+    def _translate(self, active: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Uncharged original->dense lookup for a sorted frontier.
+
+        Returns ``(found_mask, dense_rows_of_found)``; ids the SGH has
+        never seen (or whose dense row is not yet allocated) come back
+        not-found, matching the native ``degree() == 0`` skip.
+        """
+        sgh = self.store.sgh
+        if self._xlat_count != len(sgh):
+            originals = sgh.reverse_view()
+            order = np.argsort(originals, kind="stable")
+            self._xlat_originals = originals[order].copy()
+            self._xlat_dense = order.astype(np.int64)
+            self._xlat_count = len(sgh)
+        table = self._xlat_originals
+        if table.size == 0:
+            return np.zeros(active.shape[0], dtype=bool), np.empty(0, dtype=np.int64)
+        pos = np.searchsorted(table, active)
+        pos_c = np.minimum(pos, table.shape[0] - 1)
+        found = table[pos_c] == active
+        rows = self._xlat_dense[pos_c[found]]
+        in_range = rows < self.n_rows
+        if not in_range.all():
+            # An SGH entry without an allocated row (interrupted insert):
+            # the native path sees degree 0 and skips it.
+            keep = np.flatnonzero(found)[in_range]
+            found = np.zeros(active.shape[0], dtype=bool)
+            found[keep] = True
+            rows = rows[in_range]
+        return found, rows
+
+    def gather_active(
+        self, active: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched incremental-mode gather (the ``neighbors_many`` core).
+
+        Bit-identical data, order, and modeled charges to
+        :func:`gather_active_scalar` on the same (sanitized) frontier:
+        one SGH probe per active id for the ``degree`` check, one more
+        per vertex actually gathered, and each gathered vertex's full
+        native walk charge.
+        """
+        active = sanitize_active(active)
+        self._sync()
+        self._count_hit()
+        if active.size == 0:
+            return _empty_triple()
+        stats = self.store.stats
+        if self._is_gt and self.store.sgh is not None:
+            found, rows = self._translate(active)
+            counts = self._indptr[rows + 1] - self._indptr[rows]
+            nonzero = counts > 0
+            # degree() probes every active id once; neighbors() probes
+            # again for each vertex that has edges to gather.
+            stats.hash_lookups += int(active.size) + int(nonzero.sum())
+            rows_nz = rows[nonzero]
+            srcs_nz = active[found][nonzero]
+        else:
+            rows = active[active < self.n_rows]
+            counts = self._indptr[rows + 1] - self._indptr[rows]
+            nonzero = counts > 0
+            rows_nz = rows[nonzero]
+            srcs_nz = rows_nz
+        if rows_nz.size:
+            self._apply_charge(self._charges[rows_nz].sum(axis=0))
+        return self._take_rows(rows_nz, srcs_nz)
+
+    def gather_all(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full per-vertex sweep: FP-VC on GraphTinker, FP/FP-VC on STINGER
+        (and FP on a CAL-less GraphTinker, whose full load is the same
+        per-vertex EdgeblockArray sweep).
+
+        The native sweep walks *every* dense row — empty rows included —
+        so the summed charge covers all rows, while the output keeps only
+        rows with live edges.
+        """
+        self._sync()
+        self._count_hit()
+        n = self.n_rows
+        if n == 0:
+            return _empty_triple()
+        self._apply_charge(self._charges[:n].sum(axis=0))
+        counts = self._indptr[1:] - self._indptr[:-1]
+        rows = np.flatnonzero(counts > 0)
+        src, dst, weight = self._take_rows(rows, rows)
+        if self._is_gt:
+            src = self.store.original_ids(src)
+        return src, dst, weight
+
+    @property
+    def serves_full(self) -> bool:
+        """Whether the FP (edge-centric full) load is this same sweep.
+
+        True for STINGER (its full load *is* the per-vertex chain sweep)
+        and for a CAL-less GraphTinker; a CAL-backed GraphTinker streams
+        full loads from the CAL in insertion order, which the CSR view
+        does not reproduce, so that path stays native.
+        """
+        if not self._is_gt:
+            return True
+        return self.store.cal is None

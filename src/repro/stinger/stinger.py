@@ -70,6 +70,33 @@ class Stinger:
         self._next = np.full(8, -1, dtype=np.int64)  # per-block chain link
         self._n_vertices = 0
         self._n_edges = 0
+        self._analytics_snapshot = None
+        if self.config.snapshot:
+            self.enable_snapshot()
+
+    # ------------------------------------------------------------------ #
+    # analytics snapshot (engine acceleration; see repro.engine.snapshot)
+    # ------------------------------------------------------------------ #
+    def enable_snapshot(self):
+        """Attach (and return) the incrementally-maintained CSR view.
+
+        Same charge-mirror contract as on GraphTinker: bit-identical
+        results and modeled AccessStats, wall-clock only.
+        """
+        if self._analytics_snapshot is None:
+            from repro.engine.snapshot import AnalyticsSnapshot
+
+            self._analytics_snapshot = AnalyticsSnapshot(self)
+        return self._analytics_snapshot
+
+    def disable_snapshot(self) -> None:
+        """Detach the CSR view (subsequent loads use the chain walks)."""
+        self._analytics_snapshot = None
+
+    @property
+    def analytics_snapshot(self):
+        """The attached :class:`AnalyticsSnapshot`, or ``None``."""
+        return self._analytics_snapshot
 
     # ------------------------------------------------------------------ #
     @property
@@ -133,6 +160,8 @@ class Stinger:
             hit = np.flatnonzero(dsts == dst)
             if hit.size:
                 row["weight"][hit[0]] = weight
+                if self._analytics_snapshot is not None:
+                    self._analytics_snapshot.mark_dirty(src)
                 return False
             if free_block < 0:
                 vacant = np.flatnonzero(dsts < 0)
@@ -152,6 +181,8 @@ class Stinger:
         row = self.pool.row(free_block)
         row["dst"][free_slot] = dst
         row["weight"][free_slot] = weight
+        if self._analytics_snapshot is not None:
+            self._analytics_snapshot.mark_dirty(src)
         self.stats.workblock_writebacks += 1
         self._degree[src] += 1
         self._n_edges += 1
@@ -191,6 +222,8 @@ class Stinger:
             hit = np.flatnonzero(dsts == dst)
             if hit.size:
                 row["dst"][hit[0]] = _DELETED
+                if self._analytics_snapshot is not None:
+                    self._analytics_snapshot.mark_dirty(src)
                 self.stats.workblock_writebacks += 1
                 self.stats.tombstones_set += 1
                 self._degree[src] -= 1
@@ -235,6 +268,8 @@ class Stinger:
                 self.stats.tombstones_set += n
                 deleted += n
             block = int(self._next[block])
+        if deleted and self._analytics_snapshot is not None:
+            self._analytics_snapshot.mark_dirty(src)
         self._degree[src] -= deleted
         self._n_edges -= deleted
         self.stats.edges_deleted += deleted
@@ -285,6 +320,26 @@ class Stinger:
         if not dsts:
             return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
         return np.concatenate(dsts), np.concatenate(weights)
+
+    def neighbors_many(
+        self, active: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched frontier gather: ``(src, dst, weight)`` for many sources.
+
+        ``active`` is sanitized first (sorted unique, negatives dropped),
+        so duplicate frontier ids never double-gather.  With the
+        analytics snapshot attached this is one vectorized CSR gather;
+        otherwise it falls back to the per-vertex loop.  Modeled
+        AccessStats charges are bit-identical either way: STINGER's
+        ``degree`` probe is free, and each vertex with out-edges pays
+        its chain walk (one random block read + an edgeblock of cells
+        scanned per block).
+        """
+        from repro.engine.snapshot import gather_active_scalar, sanitize_active
+
+        if self._analytics_snapshot is not None:
+            return self._analytics_snapshot.gather_active(active)
+        return gather_active_scalar(self, sanitize_active(active))
 
     def edges(self) -> Iterator[tuple[int, int, float]]:
         """Yield every live edge as ``(src, dst, weight)``."""

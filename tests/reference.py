@@ -55,6 +55,69 @@ class ReferenceGraph:
         return set(self.adj.get(int(src), {}))
 
 
+def reference_bfs(ref: ReferenceGraph, root: int) -> dict[int, float]:
+    """Hop distances from ``root`` over the directed reference graph."""
+    dist = {int(root): 0.0}
+    frontier = [int(root)]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for d in ref.adj.get(v, {}):
+                if d not in dist:
+                    dist[d] = dist[v] + 1.0
+                    nxt.append(d)
+        frontier = nxt
+    return dist
+
+
+def reference_sssp(ref: ReferenceGraph, root: int) -> dict[int, float]:
+    """Dijkstra distances from ``root`` (non-negative weights).
+
+    Distances are accumulated root-outward (``dist[u] + w``), the same
+    left-to-right float summation order as the engine's Bellman-Ford
+    relaxations, so agreement is exact, not approximate.
+    """
+    import heapq
+
+    dist: dict[int, float] = {}
+    heap = [(0.0, int(root))]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in dist:
+            continue
+        dist[v] = d
+        for nbr, w in ref.adj.get(v, {}).items():
+            if nbr not in dist:
+                heapq.heappush(heap, (d + w, nbr))
+    return dist
+
+
+def reference_cc(ref: ReferenceGraph) -> dict[int, int]:
+    """Min-id weakly-connected component labels (union-find).
+
+    Every vertex appearing as an endpoint gets the smallest vertex id of
+    its undirected component; other ids are absent (label = own id).
+    """
+    parent: dict[int, int] = {}
+
+    def find(v: int) -> int:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    def union(a: int, b: int) -> None:
+        for v in (a, b):
+            parent.setdefault(v, v)
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+
+    for s, d in ref.edge_set():
+        union(s, d)
+    return {v: find(v) for v in parent}
+
+
 def assert_store_matches(store, ref: ReferenceGraph) -> None:
     """Assert a store's full edge content equals the reference's."""
     assert store.n_edges == ref.n_edges

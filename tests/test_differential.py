@@ -30,9 +30,16 @@ import pytest
 
 from repro.core.config import GTConfig, StingerConfig
 from repro.core.graphtinker import GraphTinker
+from repro.engine.algorithms import BFS, SSSP, ConnectedComponents
+from repro.engine.hybrid import HybridEngine
 from repro.errors import VertexNotFoundError
 from repro.stinger import Stinger
-from tests.reference import ReferenceGraph
+from tests.reference import (
+    ReferenceGraph,
+    reference_bfs,
+    reference_cc,
+    reference_sssp,
+)
 
 # ≥5 configurations, chosen to exercise every feature combination the
 # kernels branch on: tiny geometry (fast branch-outs), each feature
@@ -150,3 +157,124 @@ def test_differential(name, cfg, seed):
     for label, store in systems[:2]:
         report = store.fsck(level="full")
         assert report.ok, f"config={name} seed={seed} [{label}]: {report.summary()}"
+
+
+# --------------------------------------------------------------------- #
+# Analytics lockstep oracle: every engine configuration, one truth.
+#
+# After every churn batch (symmetrized inserts + deletes, so CC's
+# weak-connectivity contract holds), BFS / SSSP / CC are run from scratch
+# in every fixed mode (FP, IP, FP-VC) plus hybrid, over GT-scalar,
+# GT-vector, GT-vector+snapshot, STINGER, and STINGER+snapshot, and the
+# resulting vertex properties must equal the dict-reference answers
+# (BFS levels, Dijkstra distances, union-find component labels) —
+# exactly, not approximately: the monotone programs are min-reductions
+# over identical float path sums.  Iteration traces must agree across
+# stores, and the snapshot-on store must reproduce its snapshot-off
+# twin's modeled AccessStats bit-for-bit (the charge-mirror contract).
+# Failures name the config, stream seed, and batch index so the exact
+# stream can be replayed with ``make_churn_stream(seed)``.
+# --------------------------------------------------------------------- #
+ENGINE_POLICIES = ["full", "incremental", "full_vc", "hybrid"]
+N_AV = 48  # small vertex universe: the oracle runs many engine passes
+N_CHURN_BATCHES = 2
+
+
+def make_churn_stream(seed: int):
+    """Symmetrized (insert_edges, weights, delete_edges) churn batches."""
+    rng = np.random.default_rng(seed)
+    batches = []
+    for _ in range(N_CHURN_BATCHES):
+        n = int(rng.integers(80, 160))
+        fwd = np.column_stack(
+            [rng.integers(0, N_AV, n), rng.integers(0, N_AV, n)]
+        ).astype(np.int64)
+        ins = np.vstack([fwd, fwd[:, ::-1]])
+        w = rng.random(n)
+        weights = np.concatenate([w, w])
+        nd = int(rng.integers(20, 60))
+        victim = ins[rng.integers(0, ins.shape[0], nd)]
+        dels = np.vstack([victim, victim[:, ::-1]])
+        batches.append((ins, weights, dels))
+    return batches
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name,cfg", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_analytics_lockstep(name, cfg, seed):
+    systems = [
+        ("gt-scalar", GraphTinker(cfg.with_(kernel="scalar"))),
+        ("gt-vector", GraphTinker(cfg.with_(kernel="vector"))),
+        ("gt-snapshot", GraphTinker(cfg.with_(kernel="vector", snapshot=True))),
+        ("stinger", Stinger(StingerConfig(edgeblock_size=4))),
+        ("stinger-snapshot",
+         Stinger(StingerConfig(edgeblock_size=4, snapshot=True))),
+    ]
+    # (off-store, on-store) pairs whose modeled stats must match exactly.
+    snapshot_pairs = [("gt-vector", "gt-snapshot"), ("stinger", "stinger-snapshot")]
+    ref = ReferenceGraph()
+
+    for b, (ins, weights, dels) in enumerate(make_churn_stream(seed)):
+        ctx = f"config={name} seed={seed} batch={b}"
+        for s, d, w in zip(ins[:, 0].tolist(), ins[:, 1].tolist(),
+                           weights.tolist()):
+            ref.insert_edge(s, d, w)
+        for s, d in dels.tolist():
+            ref.delete_edge(s, d)
+        for _, store in systems:
+            store.insert_batch(ins, weights)
+            store.delete_batch(dels)
+
+        root = int(ins[0, 0])
+        expected = {
+            "bfs": reference_bfs(ref, root),
+            "sssp": reference_sssp(ref, root),
+            "cc": reference_cc(ref),
+        }
+        for algo in ("bfs", "sssp", "cc"):
+            program_cls = {"bfs": BFS, "sssp": SSSP,
+                           "cc": ConnectedComponents}[algo]
+            for policy in ENGINE_POLICIES:
+                actx = f"{ctx} algo={algo} policy={policy}"
+                baseline = None  # (values, trace) of the first store
+                stats_by_store = {}
+                for sys_name, store in systems:
+                    engine = HybridEngine(store, program_cls(), policy=policy)
+                    if algo == "cc":
+                        engine.reset()
+                    else:
+                        engine.reset(roots=[root])
+                    before = store.stats.snapshot()
+                    result = engine.compute()
+                    stats_by_store[sys_name] = store.stats.delta(before).as_dict()
+                    values = engine.values.copy()
+                    trace = [(r.mode, r.n_active, r.edges_processed,
+                              r.n_changed) for r in result.iterations]
+                    # 1) against the dict reference
+                    want = expected[algo]
+                    for v in range(values.shape[0]):
+                        if algo == "cc":
+                            exp = float(want.get(v, v))
+                        else:
+                            exp = want.get(v, np.inf)
+                        assert values[v] == exp, \
+                            (f"{actx} [{sys_name}]: vertex {v} = {values[v]}, "
+                             f"reference says {exp}")
+                    # 2) against the other stores (same modes, same work)
+                    if baseline is None:
+                        baseline = (values, trace, sys_name)
+                    else:
+                        assert np.array_equal(values, baseline[0]), \
+                            f"{actx}: values diverge [{sys_name} vs {baseline[2]}]"
+                        assert trace == baseline[1], \
+                            f"{actx}: traces diverge [{sys_name} vs {baseline[2]}]"
+                # 3) charge-mirror contract: snapshot on == snapshot off
+                for off, on in snapshot_pairs:
+                    assert stats_by_store[on] == stats_by_store[off], (
+                        f"{actx}: snapshot changed modeled stats "
+                        f"[{off} vs {on}]: "
+                        f"{ {k: (stats_by_store[off][k], stats_by_store[on][k]) for k in stats_by_store[off] if stats_by_store[off][k] != stats_by_store[on][k]} }"
+                    )
+        # GT kernel contract holds through engine traffic too.
+        assert systems[0][1].stats.as_dict() == systems[1][1].stats.as_dict(), \
+            f"{ctx}: scalar/vector stats diverge"

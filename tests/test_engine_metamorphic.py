@@ -1,0 +1,167 @@
+"""Seeded metamorphic properties of the hybrid engine.
+
+Each property states a transformation of an engine run that must not
+change the analytics answer:
+
+* **Mode equivalence** — FP, IP, FP-VC, and hybrid execution compute the
+  same fixed point (the LoadEdges equivalence that makes per-iteration
+  mode flipping sound, paper Sec. IV).
+* **Permutation invariance** — for monotone programs the final values
+  depend only on the resulting graph, not on the order the update stream
+  arrived in.
+* **Idempotent re-run** — recomputing from a converged state (even after
+  re-marking every updated vertex inconsistent) changes nothing.
+* **Delete-then-reinsert round-trip** — removing edges and reinserting
+  them with the same weights restores the analytics answer exactly.
+
+Everything is seeded (no hypothesis shrinking needed): a failure names
+the seed, store, and algorithm, and ``make_symmetric_edges(seed)``
+rebuilds the exact graph.  Weights are a pure function of the endpoint
+pair, so any stream order produces the identical weighted graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import GTConfig, StingerConfig
+from repro.core.graphtinker import GraphTinker
+from repro.engine.algorithms import BFS, SSSP, ConnectedComponents
+from repro.engine.hybrid import HybridEngine
+from repro.stinger import Stinger
+
+SEEDS = [2, 23, 4242]
+POLICIES = ["full", "incremental", "full_vc", "hybrid"]
+ALGORITHMS = {"bfs": BFS, "sssp": SSSP, "cc": ConnectedComponents}
+
+STORES = {
+    "gt": lambda: GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2)),
+    "gt-snapshot": lambda: GraphTinker(GTConfig(
+        pagewidth=16, subblock=4, workblock=2, snapshot=True)),
+    "stinger": lambda: Stinger(StingerConfig(edgeblock_size=4,
+                                             snapshot=True)),
+}
+
+
+def edge_weights(edges: np.ndarray) -> np.ndarray:
+    """Order-independent weights: a pure function of the endpoints."""
+    return 1.0 + (edges[:, 0] * 31 + edges[:, 1]) % 7
+
+
+def make_symmetric_edges(seed: int, n_vertices: int = 40,
+                         n_edges: int = 220) -> np.ndarray:
+    """A unique, symmetrized edge set (CC-sound; permutation-safe)."""
+    rng = np.random.default_rng(seed)
+    e = np.column_stack([rng.integers(0, n_vertices, n_edges),
+                         rng.integers(0, n_vertices, n_edges)]).astype(np.int64)
+    return np.unique(np.vstack([e, e[:, ::-1]]), axis=0)
+
+
+def run_values(store, algo: str, policy: str, root: int) -> np.ndarray:
+    engine = HybridEngine(store, ALGORITHMS[algo](), policy=policy)
+    if algo == "cc":
+        engine.reset()
+    else:
+        engine.reset(roots=[root])
+    engine.compute()
+    return engine.values.copy()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("store_name", sorted(STORES))
+def test_mode_equivalence(store_name, seed):
+    """FP == IP == FP-VC == hybrid on the same graph."""
+    edges = make_symmetric_edges(seed)
+    store = STORES[store_name]()
+    store.insert_batch(edges, edge_weights(edges))
+    root = int(edges[0, 0])
+    for algo in ALGORITHMS:
+        baseline = run_values(store, algo, POLICIES[0], root)
+        for policy in POLICIES[1:]:
+            got = run_values(store, algo, policy, root)
+            assert np.array_equal(got, baseline, equal_nan=True), \
+                f"seed={seed} store={store_name} algo={algo}: " \
+                f"{policy} diverges from {POLICIES[0]}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("store_name", sorted(STORES))
+def test_stream_permutation_invariance(store_name, seed):
+    """Monotone analytics depend on the graph, not the arrival order."""
+    edges = make_symmetric_edges(seed)
+    rng = np.random.default_rng(seed + 1)
+    root = int(edges[0, 0])
+    results = []
+    for ordering in (np.arange(edges.shape[0]),
+                     rng.permutation(edges.shape[0]),
+                     rng.permutation(edges.shape[0])):
+        store = STORES[store_name]()
+        stream = edges[ordering]
+        # arrive in three batches, like a real update stream
+        for chunk in np.array_split(stream, 3):
+            store.insert_batch(chunk, edge_weights(chunk))
+        results.append({algo: run_values(store, algo, "hybrid", root)
+                        for algo in ALGORITHMS})
+    for algo in ALGORITHMS:
+        for i, other in enumerate(results[1:], start=1):
+            assert np.array_equal(results[0][algo], other[algo],
+                                  equal_nan=True), \
+                f"seed={seed} store={store_name} algo={algo}: " \
+                f"ordering {i} changed the fixed point"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("store_name", sorted(STORES))
+def test_idempotent_rerun_converges_immediately(store_name, seed):
+    """Recomputing from a fixed point changes nothing."""
+    edges = make_symmetric_edges(seed)
+    store = STORES[store_name]()
+    store.insert_batch(edges, edge_weights(edges))
+    root = int(edges[0, 0])
+    for algo in ALGORITHMS:
+        engine = HybridEngine(store, ALGORITHMS[algo](), policy="hybrid")
+        if algo == "cc":
+            engine.reset()
+        else:
+            engine.reset(roots=[root])
+        engine.compute()
+        converged = engine.values.copy()
+        # a) nothing active -> zero iterations
+        again = engine.compute()
+        assert again.n_iterations == 0, \
+            f"seed={seed} store={store_name} algo={algo}: phantom work"
+        # b) re-marking every updated vertex re-checks but changes nothing
+        engine.mark_inconsistent(edges)
+        rerun = engine.compute()
+        assert np.array_equal(engine.values, converged, equal_nan=True), \
+            f"seed={seed} store={store_name} algo={algo}: re-run moved values"
+        assert all(r.n_changed == 0 for r in rerun.iterations[-1:]), \
+            f"seed={seed} store={store_name} algo={algo}: did not re-converge"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("store_name", sorted(STORES))
+def test_delete_then_reinsert_round_trip(store_name, seed):
+    """Deleting edges and reinserting them restores the answer exactly."""
+    edges = make_symmetric_edges(seed)
+    store = STORES[store_name]()
+    store.insert_batch(edges, edge_weights(edges))
+    root = int(edges[0, 0])
+    before = {algo: run_values(store, algo, "hybrid", root)
+              for algo in ALGORITHMS}
+    n_before = store.n_edges
+
+    rng = np.random.default_rng(seed + 2)
+    victims = edges[rng.choice(edges.shape[0], size=edges.shape[0] // 3,
+                               replace=False)]
+    victims = np.unique(np.vstack([victims, victims[:, ::-1]]), axis=0)
+    assert store.delete_batch(victims) == victims.shape[0]
+    store.insert_batch(victims, edge_weights(victims))
+    assert store.n_edges == n_before
+
+    for algo in ALGORITHMS:
+        after = run_values(store, algo, "hybrid", root)
+        assert np.array_equal(after, before[algo], equal_nan=True), \
+            f"seed={seed} store={store_name} algo={algo}: " \
+            f"delete/reinsert round-trip changed the fixed point"

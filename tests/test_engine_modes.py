@@ -103,6 +103,102 @@ class TestVertexCentricLoad:
         assert sorted(zip(src.tolist(), dst.tolist())) == [(0, 1), (2, 3)]
 
 
+class TestActiveSanitization:
+    """``load_edges_incremental`` dedupes and validates the frontier."""
+
+    @pytest.mark.parametrize("make", [
+        lambda: gt_store([[0, 1], [0, 2], [3, 4]]),
+        lambda: Stinger(StingerConfig(edgeblock_size=4)),
+    ], ids=["gt", "stinger"])
+    def test_duplicate_active_ids_do_not_double_gather(self, make):
+        store = make()
+        if store.n_edges == 0:
+            store.insert_batch(np.array([[0, 1], [0, 2], [3, 4]]))
+        before = store.stats.snapshot()
+        src1, dst1, _ = load_edges_incremental(store, np.array([0, 3]))
+        clean = store.stats.delta(before)
+        before = store.stats.snapshot()
+        src2, dst2, _ = load_edges_incremental(store, np.array([0, 0, 3, 0, 3]))
+        duped = store.stats.delta(before)
+        assert sorted(zip(src2.tolist(), dst2.tolist())) == \
+            sorted(zip(src1.tolist(), dst1.tolist()))
+        # Deduped charges too: the duplicate ids cost nothing extra.
+        assert duped.as_dict() == clean.as_dict()
+
+    @pytest.mark.parametrize("snapshot", [False, True], ids=["plain", "snap"])
+    def test_out_of_range_and_negative_active_ids(self, snapshot):
+        gt = GraphTinker(GTConfig(pagewidth=16, subblock=4, workblock=2,
+                                  snapshot=snapshot))
+        gt.insert_batch(np.array([[0, 1], [5, 6]]))
+        st_ = Stinger(StingerConfig(edgeblock_size=4, snapshot=snapshot))
+        st_.insert_batch(np.array([[0, 1], [5, 6]]))
+        active = np.array([-7, -1, 0, 5, 5, 99, 10_000])
+        for store in (gt, st_):
+            src, dst, _ = load_edges_incremental(store, active)
+            assert sorted(zip(src.tolist(), dst.tolist())) == [(0, 1), (5, 6)]
+
+    def test_unsorted_active_output_is_sorted_by_source(self):
+        gt = gt_store([[4, 1], [2, 3], [9, 9]])
+        src, dst, _ = load_edges_incremental(gt, np.array([9, 2, 4]))
+        assert src.tolist() == sorted(src.tolist())
+        assert sorted(zip(src.tolist(), dst.tolist())) == \
+            [(2, 3), (4, 1), (9, 9)]
+
+
+class TestFullVCEdgeCases:
+    """FULL_VC on STINGER and on empty / sink-only stores (all modes)."""
+
+    @pytest.mark.parametrize("snapshot", [False, True], ids=["plain", "snap"])
+    def test_stinger_full_vc(self, snapshot, rng):
+        from repro.engine.modes import load_edges_full_vertex_centric
+
+        st_ = Stinger(StingerConfig(edgeblock_size=4, snapshot=snapshot))
+        edges = np.column_stack([rng.integers(0, 30, 300),
+                                 rng.integers(0, 60, 300)])
+        st_.insert_batch(edges)
+        vc = load_edges_full_vertex_centric(st_)
+        fp = load_edges_full(st_)
+        assert (sorted(zip(vc[0].tolist(), vc[1].tolist()))
+                == sorted(zip(fp[0].tolist(), fp[1].tolist())))
+
+    @pytest.mark.parametrize("snapshot", [False, True], ids=["plain", "snap"])
+    @pytest.mark.parametrize("make", [
+        lambda snap: GraphTinker(GTConfig(snapshot=snap)),
+        lambda snap: Stinger(StingerConfig(snapshot=snap)),
+    ], ids=["gt", "stinger"])
+    def test_empty_store_all_loads(self, make, snapshot):
+        from repro.engine.modes import load_edges_full_vertex_centric
+
+        store = make(snapshot)
+        for triple in (
+            load_edges_full(store),
+            load_edges_full_vertex_centric(store),
+            load_edges_incremental(store, np.array([0, 1, 2])),
+            load_edges_incremental(store, np.empty(0, dtype=np.int64)),
+        ):
+            assert triple[0].size == triple[1].size == triple[2].size == 0
+
+    @pytest.mark.parametrize("snapshot", [False, True], ids=["plain", "snap"])
+    @pytest.mark.parametrize("make", [
+        lambda snap: GraphTinker(GTConfig(snapshot=snap)),
+        lambda snap: Stinger(StingerConfig(snapshot=snap)),
+    ], ids=["gt", "stinger"])
+    def test_sink_only_store_all_loads(self, make, snapshot):
+        """Rows exist but every edge is deleted: loads must return empty."""
+        from repro.engine.modes import load_edges_full_vertex_centric
+
+        store = make(snapshot)
+        store.insert_batch(np.array([[0, 1], [2, 3], [4, 5]]))
+        store.delete_batch(np.array([[0, 1], [2, 3], [4, 5]]))
+        assert store.n_edges == 0
+        for triple in (
+            load_edges_full(store),
+            load_edges_full_vertex_centric(store),
+            load_edges_incremental(store, np.array([0, 2, 4])),
+        ):
+            assert triple[0].size == 0
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     edges=st.lists(
