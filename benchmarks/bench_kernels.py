@@ -26,7 +26,7 @@ from repro.bench.reporting import Table
 from repro.workloads import rmat_edges
 from repro.workloads.streams import EdgeStream
 
-from _common import emit
+from _common import emit, record_bench
 
 N_EDGES = 100_000
 SCALE = 16
@@ -82,6 +82,13 @@ def test_vector_kernel_speedup_and_equivalence(benchmark):
     table.add_row(["vector", results["t_vector"],
                    N_EDGES / results["t_vector"], speedup])
     emit(table)
+    record_bench(
+        "kernels",
+        config={"n_edges": N_EDGES, "scale": SCALE, "n_batches": N_BATCHES},
+        wall_s=results["t_vector"],
+        throughput_edges_per_s=N_EDGES / results["t_vector"],
+        metrics={"scalar_wall_s": results["t_scalar"], "speedup": speedup},
+    )
 
     # Equivalence first: a fast-but-wrong kernel must not pass.
     assert results["vector_stats"] == results["scalar_stats"]

@@ -31,7 +31,7 @@ from repro.engine.hybrid import HybridEngine
 from repro.workloads import rmat_edges
 from repro.workloads.streams import highest_degree_roots
 
-from _common import emit
+from _common import emit, record_bench
 
 N_EDGES = int(os.environ.get("REPRO_SNAPSHOT_BENCH_EDGES", "100000"))
 SCALE = 16
@@ -110,6 +110,15 @@ def test_snapshot_gather_speedup_and_equivalence(benchmark):
     table.add_row(["on", on["seconds"], speedup, snap.hits, snap.rebuilds,
                    snap.patched_rows])
     emit(table)
+    record_bench(
+        "snapshot_gather",
+        config={"n_edges": N_EDGES, "scale": SCALE,
+                "churn_rounds": N_CHURN_ROUNDS, "n_roots": N_ROOTS},
+        wall_s=on["seconds"],
+        metrics={"off_wall_s": off["seconds"], "speedup": speedup,
+                 "snapshot_hits": snap.hits,
+                 "snapshot_rebuilds": snap.rebuilds},
+    )
 
     # Equivalence first: the snapshot must be behaviourally invisible.
     assert len(on["values"]) == len(off["values"])

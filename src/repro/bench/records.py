@@ -1,0 +1,226 @@
+"""Standardized benchmark records: the perf-trajectory file format.
+
+Every benchmark that matters for the reproduction's performance story
+can emit one ``BENCH_<name>.json`` record per run — a small, schema-
+versioned JSON document carrying the bench name, its configuration, the
+repro version, wall/modeled throughput, and latency quantiles.  Records
+from two checkouts (or two configurations) are then diffable with
+``python -m repro report --baseline A.json --current B.json``, which is
+how CI and humans catch a perf regression before it ships.
+
+Schema (``repro-bench-record/v1``)::
+
+    {
+      "schema": "repro-bench-record/v1",
+      "bench": "<name>",                  # [a-zA-Z0-9_.-]+
+      "repro_version": "1.0.0",
+      "created_at": 1754550000.0,         # unix seconds
+      "config": {...},                    # free-form, JSON-scalar values
+      "metrics": {                        # flat name -> float
+        "wall_s": ...,
+        "modeled_throughput": ...,
+        "throughput_edges_per_s": ...,
+        "latency_ms_p50": ..., "latency_ms_p90": ..., "latency_ms_p99": ...
+      }
+    }
+
+Only ``schema``, ``bench``, ``repro_version``, ``created_at``,
+``config`` and ``metrics`` are required; ``metrics`` may hold any flat
+float mapping.  Latency arrays passed to :func:`make_bench_record` are
+reduced to quantiles through the shared
+:class:`~repro.obs.quantiles.QuantileSketch` (exact mode).
+
+``REPRO_BENCH_RECORD_DIR`` selects where :func:`write_bench_record`
+lands its files (default: the current directory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
+
+import numpy as np
+
+BENCH_RECORD_SCHEMA = "repro-bench-record/v1"
+BENCH_RECORD_PREFIX = "BENCH_"
+BENCH_RECORD_SUFFIX = ".json"
+
+#: Environment variable selecting the default output directory.
+RECORD_DIR_ENV = "REPRO_BENCH_RECORD_DIR"
+
+_NAME_RE = re.compile(r"^[a-zA-Z0-9_.-]+$")
+
+#: The quantiles a latency array is reduced to.
+_LATENCY_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def make_bench_record(bench: str, *,
+                      config: dict | None = None,
+                      wall_s: float | None = None,
+                      modeled_throughput: float | None = None,
+                      throughput_edges_per_s: float | None = None,
+                      latency_ms=None,
+                      metrics: dict | None = None) -> dict:
+    """Build one schema-valid bench record.
+
+    ``latency_ms`` may be an array of per-batch/per-op latencies; it is
+    reduced to ``latency_ms_p50/p90/p99`` (exact quantiles via the
+    shared sketch).  ``metrics`` merges extra flat float metrics in.
+    """
+    from repro import __version__
+    from repro.obs.quantiles import QuantileSketch, quantile_key
+
+    if not _NAME_RE.match(bench):
+        raise ValueError(f"bench name {bench!r} must match {_NAME_RE.pattern}")
+    out_metrics: dict[str, float] = {}
+    if wall_s is not None:
+        out_metrics["wall_s"] = float(wall_s)
+    if modeled_throughput is not None:
+        out_metrics["modeled_throughput"] = float(modeled_throughput)
+    if throughput_edges_per_s is not None:
+        out_metrics["throughput_edges_per_s"] = float(throughput_edges_per_s)
+    if latency_ms is not None:
+        arr = np.asarray(latency_ms, dtype=np.float64).ravel()
+        if arr.size:
+            sketch = QuantileSketch.from_array(arr)
+            for q in _LATENCY_QUANTILES:
+                out_metrics[f"latency_ms_{quantile_key(q)}"] = sketch.quantile(q)
+    if metrics:
+        for key, value in metrics.items():
+            out_metrics[str(key)] = float(value)
+    record = {
+        "schema": BENCH_RECORD_SCHEMA,
+        "bench": bench,
+        "repro_version": __version__,
+        "created_at": time.time(),
+        "config": dict(config) if config else {},
+        "metrics": out_metrics,
+    }
+    validate_bench_record(record)
+    return record
+
+
+def validate_bench_record(record: dict) -> dict:
+    """Raise ``ValueError`` unless ``record`` is schema-valid; return it."""
+    if not isinstance(record, dict):
+        raise ValueError("bench record must be a JSON object")
+    if record.get("schema") != BENCH_RECORD_SCHEMA:
+        raise ValueError(
+            f"bench record schema {record.get('schema')!r} != "
+            f"{BENCH_RECORD_SCHEMA!r}")
+    bench = record.get("bench")
+    if not isinstance(bench, str) or not _NAME_RE.match(bench):
+        raise ValueError(f"bench record has invalid bench name {bench!r}")
+    if not isinstance(record.get("repro_version"), str):
+        raise ValueError("bench record missing repro_version")
+    if not isinstance(record.get("created_at"), (int, float)):
+        raise ValueError("bench record missing created_at timestamp")
+    if not isinstance(record.get("config"), dict):
+        raise ValueError("bench record config must be an object")
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise ValueError("bench record needs a non-empty metrics object")
+    for key, value in metrics.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"metric {key!r} must be a number, got {value!r}")
+    return record
+
+
+def record_path(bench: str, directory: str | Path | None = None) -> Path:
+    """``<dir>/BENCH_<bench>.json`` (dir defaults per :data:`RECORD_DIR_ENV`)."""
+    if directory is None:
+        directory = os.environ.get(RECORD_DIR_ENV, ".")
+    return Path(directory) / f"{BENCH_RECORD_PREFIX}{bench}{BENCH_RECORD_SUFFIX}"
+
+
+def write_bench_record(record: dict,
+                       directory: str | Path | None = None) -> Path:
+    """Validate and write ``record`` to its canonical path; return it."""
+    validate_bench_record(record)
+    path = record_path(record["bench"], directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_record(path: str | Path) -> dict:
+    """Read and validate one record file."""
+    try:
+        record = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{path}: unreadable bench record ({exc})") from exc
+    try:
+        return validate_bench_record(record)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
+
+
+def list_bench_records(directory: str | Path) -> list[Path]:
+    """``BENCH_*.json`` files under ``directory``, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(p for p in directory.iterdir()
+                  if p.name.startswith(BENCH_RECORD_PREFIX)
+                  and p.name.endswith(BENCH_RECORD_SUFFIX))
+
+
+# --------------------------------------------------------------------- #
+# regression diffing
+# --------------------------------------------------------------------- #
+#: Metrics where *larger* is better; everything else is treated as a
+#: latency-like metric where larger is worse.
+_HIGHER_IS_BETTER = ("throughput", "edges_per_s", "speedup", "hit_rate")
+
+
+def _higher_is_better(metric: str) -> bool:
+    return any(tag in metric for tag in _HIGHER_IS_BETTER)
+
+
+def diff_bench_records(baseline: dict, current: dict,
+                       threshold: float = 0.10) -> list[dict]:
+    """Compare two records of the same bench, metric by metric.
+
+    Returns one row per metric present in both:
+    ``{metric, baseline, current, ratio, change, verdict}`` where
+    ``ratio = current / baseline`` and ``verdict`` is ``"regression"``
+    when the metric moved the *bad* direction by more than ``threshold``
+    (relative), ``"improvement"`` for the good direction, ``"ok"``
+    otherwise.  Metrics only one side has are reported with
+    ``verdict="missing"``.
+    """
+    if baseline.get("bench") != current.get("bench"):
+        raise ValueError(
+            f"cannot diff different benches: {baseline.get('bench')!r} vs "
+            f"{current.get('bench')!r}")
+    rows: list[dict] = []
+    base_m, cur_m = baseline["metrics"], current["metrics"]
+    for metric in sorted(set(base_m) | set(cur_m)):
+        if metric not in base_m or metric not in cur_m:
+            rows.append({"metric": metric,
+                         "baseline": base_m.get(metric),
+                         "current": cur_m.get(metric),
+                         "ratio": None, "change": None,
+                         "verdict": "missing"})
+            continue
+        base, cur = float(base_m[metric]), float(cur_m[metric])
+        if base == 0.0:
+            ratio = float("inf") if cur > 0 else 1.0
+        else:
+            ratio = cur / base
+        change = ratio - 1.0
+        if _higher_is_better(metric):
+            bad, good = change < -threshold, change > threshold
+        else:
+            bad, good = change > threshold, change < -threshold
+        verdict = "regression" if bad else "improvement" if good else "ok"
+        rows.append({"metric": metric, "baseline": base, "current": cur,
+                     "ratio": ratio, "change": change, "verdict": verdict})
+    return rows
+
+
+def has_regressions(rows: list[dict]) -> bool:
+    return any(row["verdict"] == "regression" for row in rows)

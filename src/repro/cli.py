@@ -20,6 +20,14 @@ Gives shell access to the library's main workflows without writing code:
 * ``fsck`` — recover a service directory and audit the rebuilt store's
   structural invariants (:mod:`repro.core.verify`); ``--repair``
   self-heals, ``--corrupt N`` injects damage first (chaos testing).
+* ``top`` — live in-terminal service dashboard: drives an RMAT stream
+  through a temporary GraphService with the metrics sampler on and
+  renders the time-series ring as sparklines (``--once`` prints a single
+  frame for CI).
+* ``report`` — diff two standardized ``BENCH_*.json`` records
+  (``--baseline`` vs ``--current``); exits 1 on a perf regression.
+* ``blackbox`` — read a flight-recorder post-mortem dump (or list the
+  dumps in a service directory).
 
 Every command accepts ``--edges`` to bound run time and ``--log-level``
 to control :mod:`repro.obs.log` verbosity.
@@ -293,6 +301,10 @@ def cmd_serve(args) -> int:
         raise WorkloadError(f"{data_dir}: nothing to resume")
 
     edges = rmat_edges(args.scale, args.edges, seed=args.seed)
+    if args.obs:
+        # Full telemetry: metrics/sketches/flight recorder, so a crash or
+        # breaker trip leaves a blackbox-*.json post-mortem in --data-dir.
+        obs.enable()
     injector = None
     if args.kill_at is not None and args.fail_every:
         raise WorkloadError("--kill-at and --fail-every are mutually exclusive")
@@ -340,7 +352,13 @@ def cmd_serve(args) -> int:
         print(f"writer crashed: {service.fatal_error}", file=sys.stderr)
         print(f"durable input rows: {service.cum_input_edges} of "
               f"{edges.shape[0]}", file=sys.stderr)
-        service.close()
+        service.close()  # joins the flusher, so its dump is on disk
+        if args.obs:
+            from repro.obs.recorder import list_blackboxes
+
+            for dump in list_blackboxes(data_dir)[:1]:
+                print(f"post-mortem: python -m repro blackbox {dump}",
+                      file=sys.stderr)
         return 1
     service.close(checkpoint=args.final_checkpoint)
     print(f"final edges: {service.n_edges}")
@@ -417,6 +435,178 @@ def cmd_fsck(args) -> int:
         path = CheckpointManager(args.data_dir).write(
             store, result.last_seq, result.cum_edges)
         print(f"wrote repaired checkpoint {path}")
+    return 0
+
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values, width: int = 48) -> str:
+    """Render the last ``width`` samples as a unicode sparkline."""
+    arr = np.asarray(values, dtype=np.float64)[-width:]
+    if arr.size == 0:
+        return ""
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi <= lo:
+        return _SPARK_CHARS[0] * arr.size
+    idx = ((arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).astype(int)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def _render_top_frame(service, ring) -> str:
+    """One dashboard frame: health header + per-series sparklines."""
+    health = service.health()
+    breaker = health["breaker"]["state"]
+    lines = [
+        f"repro top — {service.directory}  "
+        f"(uptime {health['uptime_s']:.1f}s)",
+        f"queue {health['queue_depth']}/{health['queue_limit']}  "
+        f"pending {health['pending_edges']} edges  "
+        f"applied seq {health['applied_seq']}  "
+        f"flushes {health['n_flushes']}  breaker {breaker}  "
+        f"{'OK' if health['ok'] else 'NOT OK'}",
+        "",
+    ]
+    for name in ring.names():
+        _, values = ring.series(name)
+        if values.size == 0:
+            continue
+        lines.append(f"  {name:<20} {values[-1]:>12.2f}  "
+                     f"{_sparkline(values)}")
+    last = health.get("last_event")
+    if last is not None:
+        detail = " ".join(f"{k}={v}" for k, v in last["detail"].items())
+        lines.append("")
+        lines.append(f"last event: {last['kind']} {detail}".rstrip())
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """Self-driving dashboard: RMAT stream -> temp service, live render.
+
+    There is no IPC to attach to a foreign process, so ``top`` owns its
+    workload: it opens a GraphService in a temporary directory with the
+    time-series sampler running, feeds it the deterministic RMAT stream,
+    and redraws the ring as sparklines until the stream is done.
+    ``--once`` ingests everything, takes one sample, prints one frame,
+    and exits — the CI smoke mode.
+    """
+    import tempfile
+    import time as time_mod
+
+    from repro.service import GraphService
+
+    edges = rmat_edges(args.scale, args.edges, seed=args.seed)
+    obs.enable()
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-top-") as tmp:
+            service = GraphService(
+                Path(tmp), batch_edges=args.batch_size,
+                sample_interval=args.interval)
+            try:
+                sampler = service._sampler
+                if args.once:
+                    for start in range(0, edges.shape[0], args.batch_size):
+                        service.submit_insert(
+                            edges[start:start + args.batch_size])
+                    service.flush_now()
+                    sampler.sample_once()
+                    print(_render_top_frame(service, sampler.ring))
+                    return 0
+                deadline = time_mod.monotonic() + args.duration
+                start = 0
+                while time_mod.monotonic() < deadline:
+                    if start < edges.shape[0]:
+                        service.submit_insert(
+                            edges[start:start + args.batch_size])
+                        start += args.batch_size
+                    else:
+                        start = 0  # loop the stream: top is a demo load
+                    time_mod.sleep(args.interval / 4)
+                    print("\x1b[2J\x1b[H"
+                          + _render_top_frame(service, sampler.ring),
+                          flush=True)
+                service.flush_now()
+                print()
+                return 0
+            finally:
+                service.close()
+    finally:
+        obs.disable()
+
+
+def cmd_report(args) -> int:
+    """Diff two standardized bench records; exit 1 on a regression."""
+    from repro.bench.records import (
+        diff_bench_records,
+        has_regressions,
+        load_bench_record,
+    )
+
+    try:
+        baseline = load_bench_record(args.baseline)
+        current = load_bench_record(args.current)
+        rows = diff_bench_records(baseline, current,
+                                  threshold=args.threshold)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    table = Table(
+        f"bench report: {baseline['bench']} "
+        f"(v{baseline['repro_version']} -> v{current['repro_version']}, "
+        f"threshold {args.threshold:.0%})",
+        ["metric", "baseline", "current", "change", "verdict"],
+    )
+    for row in rows:
+        change = ("-" if row["change"] is None
+                  else f"{row['change']:+.1%}")
+        table.add_row([row["metric"], row["baseline"], row["current"],
+                       change, row["verdict"]])
+    table.print()
+    if has_regressions(rows):
+        print("perf regression detected", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_blackbox(args) -> int:
+    """Read flight-recorder dumps: list a directory or print one file."""
+    from repro.obs.recorder import list_blackboxes, load_blackbox
+
+    path = Path(args.path)
+    if path.is_dir():
+        dumps = list_blackboxes(path)
+        if not dumps:
+            print(f"no black-box dumps in {path}", file=sys.stderr)
+            return 1
+        if args.list:
+            for dump in dumps:
+                print(dump)
+            return 0
+        path = dumps[0]  # newest
+    try:
+        record = load_blackbox(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"black box: {path}")
+    print(f"reason: {record['reason']}")
+    for key, value in sorted(record.get("context", {}).items()):
+        print(f"  {key}: {value}")
+    events = record.get("events", [])
+    print(f"events ({len(events)} recorded, "
+          f"{record.get('n_events_total', len(events))} total):")
+    for event in events[-args.events:]:
+        detail = " ".join(f"{k}={v}" for k, v in event["detail"].items())
+        print(f"  {event['kind']:<20} {detail}".rstrip())
+    spans = record.get("spans", [])
+    if spans:
+        print(f"recent spans ({len(spans)}):")
+        for span in spans[-args.events:]:
+            print(f"  {span['name']:<20} {span['duration_ms']:.2f} ms  "
+                  f"({span['n_descendants']} descendants)")
+    metrics = record.get("metrics", {})
+    print(f"metrics captured: {len(metrics)}")
     return 0
 
 
@@ -557,6 +747,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hard-faults", action="store_true",
                    help="faulty records never clear (drives the breaker "
                         "open; with --fail-every)")
+    p.add_argument("--obs", action="store_true",
+                   help="enable full telemetry (metrics, sketches, flight "
+                        "recorder); crashes leave a blackbox-*.json dump")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("recover", parents=[common],
@@ -589,6 +782,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", default="hollywood_like", choices=DATASET_ORDER)
     p.add_argument("--batches", type=int, default=8)
     p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("top", parents=[common],
+                       help="live service dashboard (self-driving demo load)")
+    p.add_argument("--scale", type=int, default=12, help="RMAT scale")
+    p.add_argument("--edges", type=int, default=20_000,
+                   help="input rows in the demo stream")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch-size", type=int, default=512)
+    p.add_argument("--interval", type=float, default=0.25,
+                   help="sampling/refresh interval in seconds")
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="seconds to run the live view")
+    p.add_argument("--once", action="store_true",
+                   help="ingest, take one sample, print one frame (CI)")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser("report", parents=[common],
+                       help="diff two BENCH_*.json records; exit 1 on a "
+                            "perf regression")
+    p.add_argument("--baseline", required=True, metavar="PATH")
+    p.add_argument("--current", required=True, metavar="PATH")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="relative change that counts as a regression "
+                        "(default: 0.10)")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("blackbox", parents=[common],
+                       help="read a flight-recorder post-mortem dump")
+    p.add_argument("path",
+                   help="a blackbox-*.json file, or a service directory "
+                        "(newest dump is shown)")
+    p.add_argument("--list", action="store_true",
+                   help="list the dumps in a directory instead")
+    p.add_argument("--events", type=int, default=20, metavar="N",
+                   help="max events/spans to print (default: 20)")
+    p.set_defaults(func=cmd_blackbox)
 
     return parser
 

@@ -20,6 +20,7 @@ behaviour the ablation of Sec. V.B measures).
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -214,6 +215,7 @@ class GraphTinker:
             weights = np.asarray(weights, dtype=np.float64)
         kern = self._resolve_kernel(kernel)
         before = self.stats.snapshot() if obs_hooks.enabled else None
+        t0 = time.perf_counter() if before is not None else 0.0
         # The scalar loop zips edges with weights, so a short weights array
         # silently truncates the batch; the vector path mirrors that.
         m = min(edges.shape[0], weights.shape[0])
@@ -227,7 +229,8 @@ class GraphTinker:
             new = self._insert_batch_scalar(edges, weights)
         if before is not None:
             obs_hooks.publish_store_delta("gt", self.stats.delta(before))
-            obs_hooks.publish_ingest("insert", kern, int(edges.shape[0]))
+            obs_hooks.publish_ingest("insert", kern, int(edges.shape[0]),
+                                     time.perf_counter() - t0)
         return new
 
     def _insert_batch_scalar(self, edges: np.ndarray, weights: np.ndarray) -> int:
@@ -271,6 +274,7 @@ class GraphTinker:
         edges = np.asarray(edges, dtype=np.int64)
         kern = self._resolve_kernel(kernel)
         before = self.stats.snapshot() if obs_hooks.enabled else None
+        t0 = time.perf_counter() if before is not None else 0.0
         # The vector delete kernel covers the delete-only (tombstoning)
         # mechanism; delete-and-compact couples sources through shared CAL
         # group tails, and an SGH-less store hands negative ids straight to
@@ -294,7 +298,8 @@ class GraphTinker:
                     deleted += 1
         if before is not None:
             obs_hooks.publish_store_delta("gt", self.stats.delta(before))
-            obs_hooks.publish_ingest("delete", kern, int(edges.shape[0]))
+            obs_hooks.publish_ingest("delete", kern, int(edges.shape[0]),
+                                     time.perf_counter() - t0)
         return deleted
 
     def delete_vertex(self, src: int) -> int:

@@ -36,11 +36,17 @@ class ProbeSummary:
     def from_samples(samples: np.ndarray) -> "ProbeSummary":
         if samples.size == 0:
             return ProbeSummary(0, 0.0, 0.0, 0.0)
+        # One quantile implementation in the repo: the shared sketch.  At
+        # capacity == len(samples) the sketch is exact, so these numbers
+        # are bit-identical to computing numpy.percentile/mean directly.
+        from repro.obs.quantiles import QuantileSketch
+
+        sketch = QuantileSketch.from_array(samples)
         return ProbeSummary(
-            count=int(samples.size),
-            mean=float(samples.mean()),
-            p95=float(np.percentile(samples, 95)),
-            max=float(samples.max()),
+            count=sketch.count,
+            mean=sketch.mean,
+            p95=sketch.quantile(0.95),
+            max=sketch.max_value,
         )
 
 

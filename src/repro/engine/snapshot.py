@@ -195,6 +195,12 @@ class AnalyticsSnapshot:
             self.patched_rows += len(self._dirty)
             if obs_hooks.enabled:
                 self._counter("patched_rows", len(self._dirty))
+                from repro.obs.metrics import get_registry
+
+                get_registry().quantile(
+                    "engine.snapshot.patch_rows",
+                    "rows re-measured per snapshot sync",
+                ).record(len(self._dirty))
             self._dirty.clear()
             self._flat_ok = False
         if not self._flat_ok:

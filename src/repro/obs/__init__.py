@@ -29,6 +29,9 @@ from repro.obs.export import (
     registry_to_prometheus,
     registry_to_table,
     render_span_tree,
+    timeseries_from_jsonl,
+    timeseries_to_jsonl,
+    timeseries_to_prometheus,
     trace_from_jsonl,
     trace_to_jsonl,
     trace_to_table,
@@ -50,35 +53,63 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
 )
+from repro.obs.quantiles import DEFAULT_QUANTILES, QuantileSketch, quantile_key
+from repro.obs.recorder import (
+    FlightRecorder,
+    blackbox_path,
+    get_recorder,
+    list_blackboxes,
+    load_blackbox,
+    set_recorder,
+)
+from repro.obs.timeseries import MetricsSampler, TimeSeriesRing
 from repro.obs.tracing import Span, Tracer, get_tracer, set_tracer, span
+
+# The default flight recorder keeps summaries of root spans finished on
+# the default tracer (resolved per call, so set_recorder swaps apply).
+get_tracer().add_listener(lambda s: get_recorder().note_span(s))
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsSampler",
+    "QuantileSketch",
     "Span",
+    "TimeSeriesRing",
     "Tracer",
+    "blackbox_path",
     "configure_logging",
     "disable",
     "enable",
     "enabled_scope",
     "get_logger",
+    "get_recorder",
     "get_registry",
     "get_tracer",
     "is_enabled",
     "kv",
+    "list_blackboxes",
+    "load_blackbox",
     "parse_prometheus",
     "publish_store_delta",
+    "quantile_key",
     "registry_from_jsonl",
     "registry_to_jsonl",
     "registry_to_prometheus",
     "registry_to_table",
     "render_span_tree",
+    "set_recorder",
     "set_registry",
     "set_tracer",
     "span",
+    "timeseries_from_jsonl",
+    "timeseries_to_jsonl",
+    "timeseries_to_prometheus",
     "trace_from_jsonl",
     "trace_to_jsonl",
     "trace_to_table",

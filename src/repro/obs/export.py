@@ -17,11 +17,14 @@ about:
 from __future__ import annotations
 
 import json
+import re
 from typing import Iterable, Sequence
 
 from repro.bench.reporting import Table
 from repro.core.stats import AccessStats
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.quantiles import QuantileSketch, quantile_key
+from repro.obs.timeseries import TimeSeriesRing
 from repro.obs.tracing import Span
 
 
@@ -127,9 +130,64 @@ def render_span_tree(roots: Sequence[Span]) -> str:
 # --------------------------------------------------------------------- #
 # registry → Prometheus text / JSONL / table
 # --------------------------------------------------------------------- #
+_PROM_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+
 def _prom_name(name: str) -> str:
-    """Dotted metric name → Prometheus-legal name (dots become ``_``)."""
-    return name.replace(".", "_").replace("-", "_")
+    """Dotted metric name → Prometheus-legal name (stable sanitization).
+
+    Dots and dashes become ``_`` (the historical mapping), every other
+    illegal character collapses to ``_`` as well, and a leading digit
+    gains a ``_`` prefix — so any registry name maps deterministically
+    (and idempotently) onto ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+    """
+    name = _PROM_ILLEGAL.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name or "_"
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules."""
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    """Parse a ``key="value",...`` label body (escapes honoured)."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        key = text[i:eq].strip().lstrip(",").strip()
+        assert text[eq + 1] == '"', f"unquoted label value in {text!r}"
+        j = eq + 2
+        raw: list[str] = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                raw.append(text[j:j + 2])
+                j += 2
+            else:
+                raw.append(text[j])
+                j += 1
+        labels[key] = _unescape_label_value("".join(raw))
+        i = j + 1
+    return labels
 
 
 def _prom_value(value: float) -> str:
@@ -141,32 +199,74 @@ def _prom_value(value: float) -> str:
 
 
 def registry_to_prometheus(registry: MetricsRegistry) -> str:
-    """Render the registry in the Prometheus text exposition format."""
+    """Render the registry in the Prometheus text exposition format.
+
+    Quantile sketches render as the ``summary`` family —
+    ``name{quantile="0.5"} v`` rows plus ``_sum`` / ``_count`` — exactly
+    as Prometheus client libraries expose pre-computed quantiles.
+    """
     lines: list[str] = []
     for inst in registry.instruments():
         name = _prom_name(inst.name)
         if inst.help:
             lines.append(f"# HELP {name} {inst.help}")
-        lines.append(f"# TYPE {name} {inst.kind}")
         if isinstance(inst, Histogram):
+            lines.append(f"# TYPE {name} {inst.kind}")
             for bound, cumulative in inst.cumulative_counts():
                 lines.append(
                     f'{name}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
                 )
             lines.append(f"{name}_sum {_prom_value(inst.total)}")
             lines.append(f"{name}_count {inst.count}")
+        elif isinstance(inst, QuantileSketch):
+            lines.append(f"# TYPE {name} summary")
+            for q in inst.quantiles:
+                lines.append(
+                    f'{name}{{quantile="{_prom_value(q)}"}} '
+                    f"{_prom_value(inst.quantile(q))}"
+                )
+            lines.append(f"{name}_sum {_prom_value(inst.total)}")
+            lines.append(f"{name}_count {inst.count}")
         else:
+            lines.append(f"# TYPE {name} {inst.kind}")
             lines.append(f"{name} {_prom_value(inst.value)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def timeseries_to_prometheus(ring: TimeSeriesRing,
+                             name: str = "repro_timeseries") -> str:
+    """Render a ring's *latest* samples as one labelled gauge family.
+
+    Each series becomes ``name{series="<series name>"} <latest value>``
+    (label values escaped), which is how a scrape endpoint would expose
+    the dashboard's instantaneous view; the full window travels via
+    :func:`timeseries_to_jsonl`.
+    """
+    name = _prom_name(name)
+    lines = [f"# TYPE {name} gauge"]
+    for series in ring.names():
+        latest = ring.latest(series)
+        if latest is None:
+            continue
+        lines.append(
+            f'{name}{{series="{_escape_label_value(series)}"}} '
+            f"{_prom_value(latest[1])}"
+        )
+    return "\n".join(lines) + "\n"
 
 
 def parse_prometheus(text: str) -> dict[str, dict]:
     """Parse :func:`registry_to_prometheus` output back into plain data.
 
-    Returns ``{prom_name: {"type": ..., "value": ...}}`` for scalars and
-    ``{"type": "histogram", "buckets": {le: cumulative}, "sum": ...,
-    "count": ...}`` for histograms — enough for round-trip tests and for
-    scrapers that only need values.
+    Returns ``{prom_name: entry}`` where the entry is
+    ``{"type": ..., "value": ...}`` for scalars,
+    ``{"type": "histogram", "buckets": {le: cumulative}, "sum", "count"}``
+    for histograms, ``{"type": "summary", "quantiles": {q: value},
+    "sum", "count"}`` for quantile sketches, and any other labelled
+    samples (e.g. the time-series gauge family) accumulate under
+    ``"samples": [{"labels": {...}, "value": ...}]`` with label escapes
+    undone — enough for round-trip tests and for scrapers that only need
+    values.
     """
     out: dict[str, dict] = {}
     types: dict[str, str] = {}
@@ -180,6 +280,8 @@ def parse_prometheus(text: str) -> dict[str, dict]:
             entry: dict[str, object] = {"type": kind}
             if kind == "histogram":
                 entry["buckets"] = {}
+            elif kind == "summary":
+                entry["quantiles"] = {}
             out[name] = entry
             continue
         if line.startswith("#"):
@@ -188,13 +290,22 @@ def parse_prometheus(text: str) -> dict[str, dict]:
         value = float(value_text)
         if "{" in sample:
             base, label_part = sample.split("{", 1)
-            le = label_part.rstrip("}").split("=", 1)[1].strip('"')
-            if base.endswith("_bucket"):
-                out[base[: -len("_bucket")]]["buckets"][le] = int(value)
+            labels = _parse_labels(label_part.rstrip().rstrip("}"))
+            if base.endswith("_bucket") and "le" in labels:
+                hist = out.get(base[: -len("_bucket")])
+                if hist is not None and hist.get("type") == "histogram":
+                    hist["buckets"][labels["le"]] = int(value)
+                    continue
+            if "quantile" in labels and types.get(base) == "summary":
+                out[base]["quantiles"][labels["quantile"]] = value
+                continue
+            out.setdefault(base, {"type": types.get(base, "untyped")})
+            out[base].setdefault("samples", []).append(
+                {"labels": labels, "value": value})
             continue
         for suffix in ("_sum", "_count"):
             base = sample[: -len(suffix)] if sample.endswith(suffix) else None
-            if base is not None and types.get(base) == "histogram":
+            if base is not None and types.get(base) in ("histogram", "summary"):
                 out[base][suffix[1:]] = value
                 break
         else:
@@ -218,6 +329,9 @@ def registry_to_jsonl(registry: MetricsRegistry) -> str:
             record["count"] = inst.count
             record["sum"] = inst.total
             record["max"] = inst.max_value
+        elif isinstance(inst, QuantileSketch):
+            record["state"] = inst.state()
+            record["summary"] = inst.summary()
         else:
             record["value"] = inst.value
         lines.append(json.dumps(record, sort_keys=True))
@@ -240,6 +354,12 @@ def registry_from_jsonl(text: str) -> MetricsRegistry:
             registry.counter(name, help_).value = float(record["value"])
         elif record["kind"] == "gauge":
             registry.gauge(name, help_).value = float(record["value"])
+        elif record["kind"] == "quantile":
+            state = record["state"]
+            registry.quantile(
+                name, help_, capacity=int(state["capacity"]),
+                quantiles=tuple(state["quantiles"]),
+            ).restore(state)
         else:
             hist = registry.histogram(name, help_, buckets=record["buckets"])
             hist.bucket_counts = [int(n) for n in record["bucket_counts"]]
@@ -250,12 +370,52 @@ def registry_from_jsonl(text: str) -> MetricsRegistry:
 
 
 def registry_to_table(registry: MetricsRegistry) -> Table:
-    """Counters/gauges/histogram summaries as a fixed-width table."""
+    """Counters/gauges/histogram/quantile summaries as a fixed-width table."""
     table = Table("metrics", ["metric", "kind", "value", "detail"])
     for inst in registry.instruments():
         if isinstance(inst, Histogram):
             detail = f"count={inst.count} mean={inst.mean:.3f} max={inst.max_value:g}"
             table.add_row([inst.name, inst.kind, inst.total, detail])
+        elif isinstance(inst, QuantileSketch):
+            detail = " ".join(
+                [f"count={inst.count}", f"mean={inst.mean:.3f}"]
+                + [f"{k}={v:g}" for k, v in inst.quantile_values().items()]
+                + [f"max={inst.max_value:g}"]
+            )
+            table.add_row([inst.name, inst.kind, inst.total, detail])
         else:
             table.add_row([inst.name, inst.kind, inst.value, "-"])
     return table
+
+
+# --------------------------------------------------------------------- #
+# time-series ring → JSONL
+# --------------------------------------------------------------------- #
+def timeseries_to_jsonl(ring: TimeSeriesRing) -> str:
+    """Serialise a ring's full window (one JSON object per series)."""
+    lines: list[str] = []
+    for name in ring.names():
+        ts, values = ring.series(name)
+        lines.append(json.dumps(
+            {"series": name, "timestamps": ts.tolist(),
+             "values": values.tolist()},
+            sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def timeseries_from_jsonl(text: str, capacity: int | None = None,
+                          ) -> TimeSeriesRing:
+    """Rebuild a ring written by :func:`timeseries_to_jsonl`.
+
+    ``capacity`` defaults to the longest serialised series, so a full
+    round-trip is lossless.
+    """
+    records = [json.loads(line) for line in text.splitlines() if line.strip()]
+    if capacity is None:
+        capacity = max((len(r["values"]) for r in records), default=1) or 1
+    ring = TimeSeriesRing(capacity)
+    for record in records:
+        ring.ensure(record["series"])
+        for ts, value in zip(record["timestamps"], record["values"]):
+            ring.record(record["series"], value, ts=ts)
+    return ring

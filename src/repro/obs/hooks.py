@@ -85,12 +85,15 @@ _STAT_METRICS: tuple[tuple[str, str], ...] = (
 )
 
 
-def publish_ingest(op: str, kernel: str, n_edges: int) -> None:
+def publish_ingest(op: str, kernel: str, n_edges: int,
+                   duration_s: float | None = None) -> None:
     """Publish one ingest batch under its kernel: ``ingest.<op>.<kernel>.*``.
 
     Emits per-kernel batch and edge counters so a kernel rollout (or a
     scalar fallback, e.g. delete-and-compact batches) is visible in the
-    metrics without changing any cost-model number.  Callers must have
+    metrics without changing any cost-model number.  ``duration_s``, when
+    measured, additionally lands in the ``ingest.<op>.batch_ms`` quantile
+    sketch (p50/p90/p99 per-batch ingest latency).  Callers must have
     checked :data:`enabled` already.
     """
     from repro.obs.metrics import get_registry
@@ -98,6 +101,10 @@ def publish_ingest(op: str, kernel: str, n_edges: int) -> None:
     registry = get_registry()
     registry.counter(f"ingest.{op}.{kernel}.batches").inc()
     registry.counter(f"ingest.{op}.{kernel}.edges").inc(n_edges)
+    if duration_s is not None:
+        registry.quantile(
+            f"ingest.{op}.batch_ms", "per-batch ingest wall latency (ms)"
+        ).record(duration_s * 1e3)
 
 
 def publish_store_delta(prefix: str, delta: "AccessStats") -> None:

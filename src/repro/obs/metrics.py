@@ -20,6 +20,11 @@ import threading
 from typing import Iterable, Mapping, Sequence
 
 from repro.obs import hooks
+from repro.obs.quantiles import (
+    DEFAULT_CAPACITY,
+    DEFAULT_QUANTILES as DEFAULT_SKETCH_QUANTILES,
+    QuantileSketch,
+)
 
 #: Default histogram boundaries — powers of two, matching the
 #: block-granularity quantities (probe distances, per-batch block counts)
@@ -120,7 +125,7 @@ class Histogram:
         return out
 
 
-Instrument = Counter | Gauge | Histogram
+Instrument = Counter | Gauge | Histogram | QuantileSketch
 
 
 class MetricsRegistry:
@@ -152,6 +157,14 @@ class MetricsRegistry:
                   buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
         return self._get_or_create(name, Histogram, help=help, buckets=buckets)
 
+    def quantile(self, name: str, help: str = "",
+                 capacity: int = DEFAULT_CAPACITY,
+                 quantiles: Sequence[float] = DEFAULT_SKETCH_QUANTILES,
+                 ) -> QuantileSketch:
+        """Get or create a streaming :class:`QuantileSketch` instrument."""
+        return self._get_or_create(name, QuantileSketch, help=help,
+                                   capacity=capacity, quantiles=quantiles)
+
     # ------------------------------------------------------------------ #
     def __contains__(self, name: str) -> bool:
         with self._lock:
@@ -177,6 +190,8 @@ class MetricsRegistry:
                     "max": inst.max_value,
                     "mean": inst.mean,
                 }
+            elif isinstance(inst, QuantileSketch):
+                out[inst.name] = inst.summary()
             else:
                 out[inst.name] = inst.value
         return out

@@ -1,0 +1,261 @@
+"""Mergeable streaming quantile sketches (p50/p90/p99 for any metric).
+
+Counters say *how much*, histograms say *roughly where*, but latency
+arguments — the DGAP/GraphTango style "p99 under churn" claims the
+ROADMAP's service work needs — require real quantiles.
+:class:`QuantileSketch` is the repo's one quantile implementation:
+
+* **Fixed-size**: a NumPy-backed reservoir of ``capacity`` float64
+  samples (algorithm R), so memory is bounded no matter how long the
+  stream runs.
+* **Exact under capacity**: while ``count <= capacity`` every value is
+  retained and :meth:`quantile` agrees bit-for-bit with
+  ``numpy.percentile`` over the full stream — which is why
+  :mod:`repro.core.probes` delegates here instead of keeping a second
+  percentile implementation.
+* **Mergeable**: :meth:`merge` combines two sketches into a valid sketch
+  of the concatenated streams (exactly, when the combined count fits the
+  capacity; by count-weighted subsampling otherwise), so per-shard or
+  per-thread sketches can be aggregated like ``AccessStats``.
+
+Like every instrument, :meth:`record` is gated on
+:data:`repro.obs.hooks.enabled`; the ungated :meth:`observe` exists for
+offline aggregation (probes, exporter round-trips) that must work with
+the master switch down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.obs import hooks
+
+#: The quantiles every exporter reports by default.
+DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.99)
+
+#: Default reservoir size — large enough that p99 of a batch-granularity
+#: stream (hundreds to low thousands of observations per run) is usually
+#: exact, small enough to be free to keep per metric.
+DEFAULT_CAPACITY = 512
+
+
+def quantile_key(q: float) -> str:
+    """``0.5 -> "p50"``, ``0.99 -> "p99"``, ``0.999 -> "p99.9"``."""
+    scaled = q * 100.0
+    if float(scaled).is_integer():
+        return f"p{int(scaled)}"
+    return f"p{scaled:g}"
+
+
+class QuantileSketch:
+    """Fixed-size mergeable reservoir quantile estimator (see module doc)."""
+
+    __slots__ = ("name", "help", "capacity", "quantiles", "count", "total",
+                 "_min", "_max", "_buf", "_n_buf", "_rng", "_seed")
+
+    kind = "quantile"
+
+    def __init__(self, name: str = "", help: str = "",
+                 capacity: int = DEFAULT_CAPACITY,
+                 quantiles: Sequence[float] = DEFAULT_QUANTILES,
+                 seed: int = 0):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        qs = tuple(float(q) for q in quantiles)
+        if not qs or any(not 0.0 < q < 1.0 for q in qs) or list(qs) != sorted(qs):
+            raise ValueError("quantiles must be ascending and inside (0, 1)")
+        self.name = name
+        self.help = help
+        self.capacity = int(capacity)
+        self.quantiles = qs
+        self.count = 0
+        self.total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._buf = np.empty(self.capacity, dtype=np.float64)
+        self._n_buf = 0
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record(self, value: float) -> None:
+        """Record one observation (no-op while the master switch is down)."""
+        if hooks.enabled:
+            self.observe(value)
+
+    def observe(self, value: float) -> None:
+        """Record one observation unconditionally (offline aggregation)."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self._n_buf < self.capacity:
+            self._buf[self._n_buf] = value
+            self._n_buf += 1
+        else:
+            # Algorithm R: the n-th observation replaces a reservoir slot
+            # with probability capacity/n, keeping the sample uniform.
+            j = int(self._rng.integers(self.count))
+            if j < self.capacity:
+                self._buf[j] = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations (vectorised while under capacity)."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        room = self.capacity - self._n_buf
+        head, tail = arr[:room], arr[room:]
+        if head.size:
+            self._buf[self._n_buf:self._n_buf + head.size] = head
+            self._n_buf += head.size
+            self.count += head.size
+            self.total += float(head.sum())
+            self._min = min(self._min, float(head.min()))
+            self._max = max(self._max, float(head.max()))
+        for value in tail.tolist():
+            self.observe(value)
+
+    @classmethod
+    def from_array(cls, values, name: str = "", capacity: int | None = None,
+                   **kwargs) -> "QuantileSketch":
+        """A sketch pre-loaded with ``values``.
+
+        With the default ``capacity=len(values)`` the sketch is *exact*:
+        its quantiles equal ``numpy.percentile`` over ``values``.
+        """
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        sketch = cls(name, capacity=max(1, arr.size) if capacity is None
+                     else capacity, **kwargs)
+        sketch.observe_many(arr)
+        return sketch
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min_value(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max_value(self) -> float:
+        return self._max if self.count else 0.0
+
+    @property
+    def exact(self) -> bool:
+        """Whether every observation is still in the reservoir."""
+        return self.count == self._n_buf
+
+    def samples(self) -> np.ndarray:
+        """The retained sample (sorted copy)."""
+        return np.sort(self._buf[:self._n_buf])
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (exact while under capacity)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be inside [0, 1]")
+        if self._n_buf == 0:
+            return 0.0
+        return float(np.percentile(self._buf[:self._n_buf], q * 100.0))
+
+    def quantile_values(self) -> dict[str, float]:
+        """``{"p50": ..., "p90": ..., "p99": ...}`` for the configured set."""
+        if self._n_buf == 0:
+            return {quantile_key(q): 0.0 for q in self.quantiles}
+        values = np.percentile(self._buf[:self._n_buf],
+                               [q * 100.0 for q in self.quantiles])
+        return {quantile_key(q): float(v)
+                for q, v in zip(self.quantiles, values)}
+
+    def summary(self) -> dict[str, float]:
+        """Count/sum/min/max/mean plus the configured quantiles."""
+        out = {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+            "mean": self.mean,
+        }
+        out.update(self.quantile_values())
+        return out
+
+    # ------------------------------------------------------------------ #
+    # merge
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other``'s stream into this sketch (``other`` unchanged).
+
+        Exact when the combined retained samples fit this sketch's
+        capacity and both sides are exact; otherwise the reservoir is
+        re-drawn by count-weighted subsampling, which keeps it a uniform
+        sample of the concatenated stream.  Returns ``self``.
+        """
+        if other.count == 0:
+            return self
+        mine = self._buf[:self._n_buf]
+        theirs = other._buf[:other._n_buf]
+        if (self.exact and other.exact
+                and self._n_buf + other._n_buf <= self.capacity):
+            merged = np.concatenate([mine, theirs])
+        else:
+            total = self.count + other.count
+            # Split the reservoir slots proportionally to stream sizes,
+            # clamped to what each side actually retains.
+            k_mine = int(round(self.capacity * self.count / total))
+            k_mine = min(max(k_mine, self.capacity - theirs.size), mine.size)
+            k_theirs = min(self.capacity - k_mine, theirs.size)
+            parts = []
+            for samples, k in ((mine, k_mine), (theirs, k_theirs)):
+                if k >= samples.size:
+                    parts.append(samples)
+                elif k > 0:
+                    idx = self._rng.choice(samples.size, size=k, replace=False)
+                    parts.append(samples[idx])
+            merged = np.concatenate(parts) if parts else np.empty(0)
+        self._n_buf = merged.size
+        self._buf[:self._n_buf] = merged
+        self.count += other.count
+        self.total += other.total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # (de)serialisation — exporter support
+    # ------------------------------------------------------------------ #
+    def state(self) -> dict:
+        """Plain-data sketch state (for the JSONL exporter)."""
+        return {
+            "capacity": self.capacity,
+            "quantiles": list(self.quantiles),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+            "samples": self._buf[:self._n_buf].tolist(),
+        }
+
+    def restore(self, state: dict) -> "QuantileSketch":
+        """Overwrite this sketch with exported ``state`` (RNG reseeded)."""
+        samples = np.asarray(state["samples"], dtype=np.float64)
+        if samples.size > self.capacity:
+            raise ValueError("restored samples exceed sketch capacity")
+        self._buf[:samples.size] = samples
+        self._n_buf = samples.size
+        self.count = int(state["count"])
+        self.total = float(state["sum"])
+        self._min = float(state["min"]) if self.count else float("inf")
+        self._max = float(state["max"]) if self.count else float("-inf")
+        self._rng = np.random.default_rng(self._seed)
+        return self

@@ -1,0 +1,181 @@
+"""Flight recorder: a bounded black box of recent events and spans.
+
+When the breaker opens or the writer dies, counters tell you *that* it
+happened; the flight recorder tells you *what the last moments looked
+like*: the WAL retries that preceded the trip, the fsck violations a
+recovery found, the spans that were in flight.  It is a fixed-size ring
+(events never grow without bound) that the service and recovery layers
+feed through the usual gated hooks, and that can be dumped as a JSON
+post-mortem — written automatically on crash / breaker-open / recovery,
+and readable with ``python -m repro blackbox <path>``.
+
+Recording is gated on :data:`repro.obs.hooks.enabled` like every other
+instrument, so the default-off discipline holds.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.obs import hooks
+
+BLACKBOX_SCHEMA = "repro-blackbox/v1"
+BLACKBOX_PREFIX = "blackbox-"
+BLACKBOX_SUFFIX = ".json"
+
+#: Event kinds the built-in instrumentation emits (free-form kinds are
+#: fine too; this is the documented vocabulary).
+EVENT_KINDS = (
+    "wal.retry",
+    "breaker.open",
+    "breaker.half_open",
+    "breaker.close",
+    "flush.failed",
+    "service.fatal",
+    "service.checkpoint",
+    "shed.reads",
+    "fsck",
+    "recovery",
+)
+
+
+class FlightRecorder:
+    """Bounded ring of structured events plus recent root-span summaries."""
+
+    def __init__(self, capacity: int = 256, span_capacity: int = 64):
+        if capacity < 1 or span_capacity < 1:
+            raise ValueError("capacities must be >= 1")
+        self.capacity = capacity
+        self.span_capacity = span_capacity
+        self._lock = threading.Lock()
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._spans: deque[dict] = deque(maxlen=span_capacity)
+        self.n_events = 0  # total ever recorded (ring may have dropped some)
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record(self, kind: str, **detail: object) -> None:
+        """Record one event (no-op while the master switch is down)."""
+        if hooks.enabled:
+            self.observe(kind, **detail)
+
+    def observe(self, kind: str, **detail: object) -> None:
+        """Record one event unconditionally (cold paths, tests)."""
+        event = {"ts": time.time(), "kind": str(kind), "detail": detail}
+        with self._lock:
+            self._events.append(event)
+            self.n_events += 1
+
+    def note_span(self, span) -> None:
+        """Keep a flat summary of a finished root span (tracer listener)."""
+        summary = {
+            "ts": time.time(),
+            "name": span.name,
+            "duration_ms": span.duration * 1e3,
+            "n_descendants": span.n_descendants,
+            "attrs": dict(span.attrs),
+        }
+        with self._lock:
+            self._spans.append(summary)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def events(self, kind: str | None = None) -> list[dict]:
+        """Recorded events oldest-first (optionally filtered by kind)."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e["kind"] == kind]
+        return events
+
+    def spans(self) -> list[dict]:
+        with self._lock:
+            return list(self._spans)
+
+    def last_event(self) -> dict | None:
+        with self._lock:
+            return self._events[-1] if self._events else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._spans.clear()
+            self.n_events = 0
+
+    # ------------------------------------------------------------------ #
+    # post-mortem dumps
+    # ------------------------------------------------------------------ #
+    def post_mortem(self, reason: str, **context: object) -> dict:
+        """The JSON-ready black-box snapshot (metrics included)."""
+        from repro.obs.metrics import get_registry
+
+        return {
+            "schema": BLACKBOX_SCHEMA,
+            "written_at": time.time(),
+            "reason": reason,
+            "context": context,
+            "events": self.events(),
+            "spans": self.spans(),
+            "n_events_total": self.n_events,
+            "metrics": get_registry().collect(),
+        }
+
+    def dump(self, path: str | Path, reason: str, **context: object) -> Path:
+        """Write :meth:`post_mortem` to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.post_mortem(reason, **context),
+                                   indent=2, sort_keys=True, default=str)
+                        + "\n")
+        return path
+
+
+def blackbox_path(directory: str | Path, reason: str) -> Path:
+    """Canonical dump location inside a service directory."""
+    safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in reason)
+    return Path(directory) / f"{BLACKBOX_PREFIX}{safe}{BLACKBOX_SUFFIX}"
+
+
+def list_blackboxes(directory: str | Path) -> list[Path]:
+    """Black-box dumps in ``directory``, newest first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    dumps = [p for p in directory.iterdir()
+             if p.name.startswith(BLACKBOX_PREFIX)
+             and p.name.endswith(BLACKBOX_SUFFIX)]
+    return sorted(dumps, key=lambda p: p.stat().st_mtime, reverse=True)
+
+
+def load_blackbox(path: str | Path) -> dict:
+    """Read one dump back; raises ``ValueError`` on a non-blackbox file."""
+    record = json.loads(Path(path).read_text())
+    if record.get("schema") != BLACKBOX_SCHEMA:
+        raise ValueError(
+            f"{path}: not a flight-recorder dump (schema "
+            f"{record.get('schema')!r}, expected {BLACKBOX_SCHEMA!r})"
+        )
+    return record
+
+
+#: Process-wide default recorder (the service hooks publish into it).
+_RECORDER = FlightRecorder()
+
+
+def get_recorder() -> FlightRecorder:
+    """The process-wide default flight recorder."""
+    return _RECORDER
+
+
+def set_recorder(recorder: FlightRecorder) -> FlightRecorder:
+    """Swap the default recorder (returns the previous one)."""
+    global _RECORDER
+    prior = _RECORDER
+    _RECORDER = recorder
+    return prior

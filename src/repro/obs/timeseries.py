@@ -1,0 +1,200 @@
+"""Time-series rings: "what did the last N seconds look like".
+
+Counters and sketches summarise a whole run; the questions an operator
+actually asks — is the queue growing, did ingest rate dip when the
+breaker opened, what was fsync latency doing right before the crash —
+need *trends*.  :class:`TimeSeriesRing` keeps a bounded window of
+``(timestamp, value)`` samples per named series in preallocated NumPy
+rings, and :class:`MetricsSampler` fills one from registered probe
+callables on a daemon thread at a configurable interval.
+
+Both are explicit opt-ins (nothing starts a sampler thread unless asked,
+e.g. ``GraphService(sample_interval=1.0)`` or ``python -m repro top``),
+so the default-off telemetry discipline holds: with no sampler running
+this module costs nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+import numpy as np
+
+#: Default ring capacity — at the default 1 s sampling interval this is
+#: "the last ~4 minutes", plenty for a dashboard or a post-mortem.
+DEFAULT_CAPACITY = 256
+
+
+class _Series:
+    __slots__ = ("ts", "values", "idx", "n")
+
+    def __init__(self, capacity: int):
+        self.ts = np.zeros(capacity, dtype=np.float64)
+        self.values = np.zeros(capacity, dtype=np.float64)
+        self.idx = 0      # next write position
+        self.n = 0        # live samples (<= capacity)
+
+
+class TimeSeriesRing:
+    """Lock-safe fixed-capacity ``(timestamp, value)`` rings by name."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._series: dict[str, _Series] = {}
+
+    def ensure(self, name: str) -> None:
+        """Create an empty series (recording creates one implicitly)."""
+        with self._lock:
+            if name not in self._series:
+                self._series[name] = _Series(self.capacity)
+
+    def record(self, name: str, value: float, ts: float | None = None) -> None:
+        """Append one sample, overwriting the oldest once full."""
+        ts = time.time() if ts is None else float(ts)
+        with self._lock:
+            s = self._series.get(name)
+            if s is None:
+                s = self._series[name] = _Series(self.capacity)
+            s.ts[s.idx] = ts
+            s.values[s.idx] = float(value)
+            s.idx = (s.idx + 1) % self.capacity
+            if s.n < self.capacity:
+                s.n += 1
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def series(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(timestamps, values)`` in chronological order (copies)."""
+        with self._lock:
+            s = self._series.get(name)
+            if s is None:
+                empty = np.empty(0, dtype=np.float64)
+                return empty, empty.copy()
+            if s.n < self.capacity:
+                return s.ts[:s.n].copy(), s.values[:s.n].copy()
+            order = np.concatenate([np.arange(s.idx, self.capacity),
+                                    np.arange(0, s.idx)])
+            return s.ts[order], s.values[order]
+
+    def latest(self, name: str) -> tuple[float, float] | None:
+        """Most recent ``(timestamp, value)``, or ``None`` if empty."""
+        with self._lock:
+            s = self._series.get(name)
+            if s is None or s.n == 0:
+                return None
+            last = (s.idx - 1) % self.capacity
+            return float(s.ts[last]), float(s.values[last])
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-series ``{n, latest, min, max, mean}`` (health snapshots)."""
+        out: dict[str, dict[str, float]] = {}
+        for name in self.names():
+            _, values = self.series(name)
+            if values.size == 0:
+                continue
+            out[name] = {
+                "n": int(values.size),
+                "latest": float(values[-1]),
+                "min": float(values.min()),
+                "max": float(values.max()),
+                "mean": float(values.mean()),
+            }
+        return out
+
+
+class MetricsSampler:
+    """Daemon thread sampling probe callables into a :class:`TimeSeriesRing`.
+
+    Two probe shapes:
+
+    * :meth:`add_gauge` — the callable returns the instantaneous value
+      (queue depth, breaker state, a sketch's p99);
+    * :meth:`add_rate` — the callable returns a *cumulative* count (total
+      edges ingested); the sampler records its per-second derivative.
+
+    Probe exceptions are swallowed per sample (a dashboard must never
+    take the service down); a probe that raises simply contributes no
+    sample that tick.
+    """
+
+    def __init__(self, ring: TimeSeriesRing | None = None,
+                 interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self.ring = ring if ring is not None else TimeSeriesRing()
+        self.interval = float(interval)
+        self._gauges: dict[str, Callable[[], float]] = {}
+        self._rates: dict[str, Callable[[], float]] = {}
+        self._rate_prev: dict[str, tuple[float, float]] = {}  # name -> (ts, v)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.n_samples = 0
+
+    def add_gauge(self, name: str, fn: Callable[[], float]) -> None:
+        self._gauges[name] = fn
+        self.ring.ensure(name)
+
+    def add_rate(self, name: str, fn: Callable[[], float]) -> None:
+        self._rates[name] = fn
+        self.ring.ensure(name)
+
+    # ------------------------------------------------------------------ #
+    def sample_once(self, now: float | None = None) -> None:
+        """Take one sample of every probe (also what the thread loop runs)."""
+        now = time.time() if now is None else float(now)
+        for name, fn in self._gauges.items():
+            try:
+                self.ring.record(name, float(fn()), ts=now)
+            except Exception:  # noqa: BLE001 - see class docstring
+                continue
+        for name, fn in self._rates.items():
+            try:
+                value = float(fn())
+            except Exception:  # noqa: BLE001
+                continue
+            prev = self._rate_prev.get(name)
+            self._rate_prev[name] = (now, value)
+            if prev is None:
+                continue
+            dt = now - prev[0]
+            if dt > 0:
+                self.ring.record(name, (value - prev[1]) / dt, ts=now)
+        self.n_samples += 1
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._stop.clear()
+        self.sample_once()  # seed the rate baselines immediately
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-metrics-sampler",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2 * self.interval + 1.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsSampler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -95,6 +95,19 @@ class Tracer:
         self._lock = threading.Lock()
         self._tls = threading.local()
         self._root_seen = 0
+        self._listeners: list = []
+
+    def add_listener(self, fn) -> None:
+        """Call ``fn(span)`` whenever a sampled root span finishes.
+
+        Listeners run outside the tracer lock and must not raise; the
+        flight recorder uses this to keep its recent-span ring without
+        the hot paths knowing about it.
+        """
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        self._listeners.remove(fn)
 
     # ------------------------------------------------------------------ #
     def _stack(self) -> list[Span]:
@@ -172,6 +185,11 @@ class Tracer:
             else:
                 with self._lock:
                     self.roots.append(node)
+                for listener in self._listeners:
+                    try:
+                        listener(node)
+                    except Exception:  # noqa: BLE001 - listeners are best-effort
+                        pass
 
     # ------------------------------------------------------------------ #
     def find(self, name: str) -> list[Span]:

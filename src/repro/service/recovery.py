@@ -56,6 +56,11 @@ class RecoveryResult:
     #: audits the rebuilt structure and lets the caller decide whether a
     #: violated store may serve.
     fsck: object | None = None
+    #: Flight-recorder style post-mortem summary of this recovery (always
+    #: populated — the facts are free).  With observability enabled the
+    #: same summary is also dumped as ``blackbox-recovery.json`` in the
+    #: service directory for ``python -m repro blackbox``.
+    blackbox: dict | None = None
 
 
 def _publish(result: RecoveryResult) -> None:
@@ -145,5 +150,31 @@ def recover(directory: str | Path, config: GTConfig | None = None,
             span.set_attr("fsck_violations", len(result.fsck.violations))
         span.set_attr("replayed_records", result.replayed_records)
         span.set_attr("checkpoint_seq", result.checkpoint_seq)
+    result.blackbox = {
+        "reason": "recovery",
+        "directory": str(directory),
+        "checkpoint_seq": result.checkpoint_seq,
+        "checkpoint_path": (str(result.checkpoint_path)
+                            if result.checkpoint_path else None),
+        "last_seq": result.last_seq,
+        "cum_edges": result.cum_edges,
+        "replayed_records": result.replayed_records,
+        "replayed_edges": result.replayed_edges,
+        "skipped_records": result.skipped_records,
+        "torn_truncated": result.torn_offset is not None,
+        "fsck_violations": (len(result.fsck.violations)
+                            if result.fsck is not None else None),
+    }
     _publish(result)
+    if obs_hooks.enabled:
+        from repro.obs.recorder import blackbox_path, get_recorder
+
+        recorder = get_recorder()
+        recorder.record("recovery", **result.blackbox)
+        context = {k: v for k, v in result.blackbox.items() if k != "reason"}
+        try:
+            recorder.dump(blackbox_path(directory, "recovery"), "recovery",
+                          **context)
+        except Exception:  # noqa: BLE001 - post-mortem is best-effort
+            pass
     return result

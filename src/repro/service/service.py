@@ -43,7 +43,9 @@ from repro.core.config import GTConfig
 from repro.core.graphtinker import GraphTinker
 from repro.errors import ServiceError
 from repro.obs import hooks as obs_hooks
-from repro.service.checkpoint import CheckpointManager
+from repro.obs.recorder import blackbox_path, get_recorder
+from repro.obs.timeseries import MetricsSampler, TimeSeriesRing
+from repro.service.checkpoint import CheckpointManager, list_checkpoints
 from repro.service.recovery import RecoveryResult, recover
 from repro.service.wal import (
     DEFAULT_SEGMENT_BYTES,
@@ -127,6 +129,8 @@ class GraphService:
                  breaker_threshold: int = 0,
                  breaker_reset: float = 1.0,
                  shed_reads_at: int = 0,
+                 sample_interval: float = 0.0,
+                 sample_capacity: int = 256,
                  kernel: str | None = None,
                  injector=None):
         if batch_edges < 1:
@@ -194,6 +198,8 @@ class GraphService:
         self._breaker_failures = 0
         self._breaker_opened_at = 0.0
         self._last_fsck = None
+        self._started_at = time.monotonic()
+        self._last_ckpt_at: float | None = None
 
         self._store_lock = threading.RLock()
         self._cond = threading.Condition()
@@ -208,6 +214,40 @@ class GraphService:
                                         name="graph-service-flusher",
                                         daemon=True)
         self._thread.start()
+        # Optional background time-series sampler (off by default): tracks
+        # the service vitals docs/observability.md names, into a ring the
+        # health() snapshot and `repro top` can read back.
+        self._sampler: MetricsSampler | None = None
+        if sample_interval > 0:
+            self._sampler = self._build_sampler(sample_interval,
+                                                sample_capacity)
+            self._sampler.start()
+
+    def _build_sampler(self, interval: float,
+                       capacity: int) -> MetricsSampler:
+        ring = TimeSeriesRing(capacity=capacity)
+        sampler = MetricsSampler(ring=ring, interval=interval)
+        sampler.add_gauge("queue_depth", lambda: len(self._queue))
+        sampler.add_gauge("pending_edges", lambda: self._pending_edges)
+        sampler.add_rate("ingest_edges_per_s", lambda: self._wal.cum_edges)
+        sampler.add_gauge(
+            "breaker_state",
+            lambda: {"closed": 0.0, "half-open": 1.0,
+                     "open": 2.0}[self._breaker_state])
+        sampler.add_gauge(
+            "wal_fsync_p99_ms",
+            lambda: obs.get_registry().quantile(
+                "service.wal.fsync_ms").quantile(0.99))
+        sampler.add_gauge(
+            "flush_p99_ms",
+            lambda: obs.get_registry().quantile(
+                "service.flush.ms").quantile(0.99))
+        return sampler
+
+    @property
+    def timeseries(self) -> TimeSeriesRing | None:
+        """The sampler's ring, when ``sample_interval > 0`` (else None)."""
+        return self._sampler.ring if self._sampler is not None else None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -262,6 +302,8 @@ class GraphService:
         ``checkpoint=True`` additionally snapshots the final state (which
         prunes the WAL down to nothing worth replaying).
         """
+        if self._sampler is not None:
+            self._sampler.stop()
         with self._cond:
             self._stop = True
             self._cond.notify_all()
@@ -351,6 +393,8 @@ class GraphService:
             self._breaker_state = "half-open"
             if obs_hooks.enabled:
                 obs.get_registry().counter("service.breaker.half_open").inc()
+                get_recorder().record("breaker.half_open",
+                                      open_for_s=round(elapsed, 4))
             return
         if obs_hooks.enabled:
             obs.get_registry().counter("service.breaker.fast_fail").inc()
@@ -430,11 +474,14 @@ class GraphService:
             with self._cond:
                 self._flushing = False
                 if self._breaker_failures or self._breaker_state != "closed":
+                    reopened = self._breaker_state != "closed"
                     self._breaker_state = "closed"
                     self._breaker_failures = 0
                     if obs_hooks.enabled:
                         obs.get_registry().counter(
                             "service.breaker.closed").inc()
+                        if reopened:
+                            get_recorder().record("breaker.close")
                 self._cond.notify_all()
 
     def _go_fatal(self, batch: list[_Request], exc: BaseException) -> None:
@@ -446,6 +493,23 @@ class GraphService:
             self._queue.clear()
             self._pending_edges = 0
             self._cond.notify_all()
+        if obs_hooks.enabled:
+            get_recorder().record("service.fatal", error=repr(exc),
+                                  n_requests=len(batch))
+            self._dump_blackbox("fatal", error=repr(exc))
+
+    def _dump_blackbox(self, reason: str, **context) -> None:
+        """Best-effort flight-recorder post-mortem in the service dir.
+
+        Gated on the master switch by the callers; a dump that fails
+        (disk full, directory gone) must never mask the original fault.
+        """
+        try:
+            get_recorder().dump(
+                blackbox_path(self.directory, reason), reason,
+                directory=str(self.directory), **context)
+        except Exception:  # noqa: BLE001 - post-mortem is best-effort
+            pass
 
     def _flush_failed(self, batch: list[_Request], exc: BaseException) -> None:
         """Record one non-fatal flush failure; maybe trip the breaker."""
@@ -473,8 +537,14 @@ class GraphService:
         if obs_hooks.enabled:
             registry = obs.get_registry()
             registry.counter("service.breaker.failures").inc()
+            get_recorder().record("flush.failed", error=repr(exc),
+                                  consecutive=self._breaker_failures)
             if tripped:
                 registry.counter("service.breaker.opened").inc()
+                get_recorder().record(
+                    "breaker.open", consecutive=self._breaker_failures,
+                    threshold=self.breaker_threshold, error=repr(exc))
+                self._dump_blackbox("breaker-open", error=repr(exc))
 
     def _wal_op(self, fn):
         """Run one WAL operation with exponential backoff + jitter.
@@ -497,6 +567,8 @@ class GraphService:
                 attempt += 1
                 if obs_hooks.enabled:
                     obs.get_registry().counter("service.wal.retries").inc()
+                    get_recorder().record("wal.retry", attempt=attempt,
+                                          delay_s=round(delay, 4))
                 time.sleep(delay)
 
     @staticmethod
@@ -561,9 +633,13 @@ class GraphService:
             registry.counter("service.flush.batches").inc()
             registry.counter("service.flush.edges").inc(n_edges)
             registry.histogram("service.flush.requests").record(len(batch))
+            flush_ms = (time.monotonic() - start) * 1e3
             registry.histogram(
                 "service.flush.duration_ms", buckets=_FLUSH_MS_BUCKETS
-            ).record((time.monotonic() - start) * 1e3)
+            ).record(flush_ms)
+            registry.quantile(
+                "service.flush.ms", "micro-batch flush wall latency (ms)"
+            ).record(flush_ms)
             registry.gauge("service.queue.depth").set(len(self._queue))
         if (self.checkpoint_every
                 and self._applied_seq - self._last_ckpt_seq >= self.checkpoint_every):
@@ -579,10 +655,13 @@ class GraphService:
                 seq, cum = self._applied_seq, self._cum_edges
             path = self._ckpt.write(self._store, seq, cum)
             self._last_ckpt_seq = seq
+            self._last_ckpt_at = time.monotonic()
         if obs_hooks.enabled:
             registry = obs.get_registry()
             registry.counter("service.checkpoint.count").inc()
             registry.gauge("service.checkpoint.seq").set(seq)
+            get_recorder().record("service.checkpoint", seq=seq,
+                                  cum_edges=cum)
         return path
 
     # ------------------------------------------------------------------ #
@@ -599,6 +678,9 @@ class GraphService:
         if obs_hooks.enabled:
             obs.get_registry().gauge("service.fsck.violations").set(
                 len(report.violations))
+            if not report.ok:
+                get_recorder().record("fsck", level=report.level,
+                                      violations=len(report.violations))
 
     def run_fsck(self, level: str = "quick", repair: bool = False):
         """Audit the live store under the store lock; record the outcome.
@@ -612,11 +694,30 @@ class GraphService:
         self._note_fsck(result.final if repair else result)
         return result
 
+    def _checkpoint_age_s(self) -> float | None:
+        """Seconds since the last checkpoint, or ``None`` if never.
+
+        A service that has not checkpointed *this process* falls back to
+        the newest checkpoint file on disk (a recovered service inherits
+        its predecessor's checkpoint).
+        """
+        if self._last_ckpt_at is not None:
+            return time.monotonic() - self._last_ckpt_at
+        try:
+            checkpoints = list_checkpoints(self.directory)
+        except OSError:
+            return None
+        if not checkpoints:
+            return None
+        return max(0.0, time.time() - checkpoints[-1].stat().st_mtime)
+
     def health(self) -> dict:
         """Point-in-time service status snapshot (cheap; lock-light).
 
         ``ok`` means: flusher alive, breaker closed, and the last fsck
-        (if any ran) found nothing.
+        (if any ran) found nothing.  ``last_event`` is the most recent
+        flight-recorder event (None while observability is down or quiet);
+        ``timeseries`` summarises the sampler ring when one is running.
         """
         with self._cond:
             snapshot = {
@@ -626,6 +727,7 @@ class GraphService:
                 "applied_seq": self._applied_seq,
                 "cum_edges": self._cum_edges,
                 "n_flushes": self.n_flushes,
+                "uptime_s": time.monotonic() - self._started_at,
                 "breaker": {
                     "state": self._breaker_state,
                     "consecutive_failures": self._breaker_failures,
@@ -636,6 +738,10 @@ class GraphService:
                 "shedding_reads": (self.shed_reads_at > 0
                                    and len(self._queue) >= self.shed_reads_at),
             }
+        snapshot["last_checkpoint_age_s"] = self._checkpoint_age_s()
+        snapshot["last_event"] = get_recorder().last_event()
+        if self._sampler is not None:
+            snapshot["timeseries"] = self._sampler.ring.summary()
         snapshot["ok"] = (snapshot["fatal"] is None
                           and snapshot["breaker"]["state"] == "closed"
                           and (snapshot["last_fsck"] is None
@@ -659,6 +765,8 @@ class GraphService:
         if depth >= self.shed_reads_at:
             if obs_hooks.enabled:
                 obs.get_registry().counter("service.shed.reads").inc()
+                get_recorder().record("shed.reads", queue_depth=depth,
+                                      shed_reads_at=self.shed_reads_at)
             raise ServiceError(
                 f"shedding reads: queue depth {depth} >= shed_reads_at "
                 f"{self.shed_reads_at} — ingest is saturated"

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -364,11 +365,15 @@ class WriteAheadLog:
     def sync(self) -> None:
         """fsync the active segment (the ``"batch"`` policy's commit point)."""
         if self._file is not None:
-            self._file.flush()
-            os.fsync(self._file.fileno())
             registry = self._registry()
+            self._file.flush()
+            t0 = time.perf_counter() if registry is not None else 0.0
+            os.fsync(self._file.fileno())
             if registry is not None:
                 registry.counter("service.wal.syncs").inc()
+                registry.quantile(
+                    "service.wal.fsync_ms", "WAL fsync wall latency (ms)"
+                ).record((time.perf_counter() - t0) * 1e3)
 
     def _rotate(self) -> None:
         self._file.flush()

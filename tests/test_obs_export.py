@@ -13,11 +13,15 @@ from repro.obs.export import (
     registry_to_prometheus,
     registry_to_table,
     render_span_tree,
+    timeseries_from_jsonl,
+    timeseries_to_jsonl,
+    timeseries_to_prometheus,
     trace_from_jsonl,
     trace_to_jsonl,
     trace_to_table,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRing
 from repro.obs.tracing import Tracer
 
 
@@ -51,6 +55,8 @@ def registry():
                         buckets=(1, 2, 4))
         for v in (1, 1, 3, 9):
             h.record(v)
+        q = r.quantile("service.flush.ms", "micro-batch flush latency")
+        q.observe_many([1.0, 2.0, 3.0, 4.0, 100.0])
     return r
 
 
@@ -150,3 +156,100 @@ class TestRegistryTable:
         rendered = table.render()
         assert "gt.rhh.swaps" in rendered
         assert "count=4" in rendered
+
+    def test_quantile_detail_row(self, registry):
+        rendered = registry_to_table(registry).render()
+        assert "service.flush.ms" in rendered
+        assert "p50=3" in rendered
+        assert "p99=" in rendered
+
+
+class TestSummaryFamily:
+    def test_quantiles_render_as_summary(self, registry):
+        text = registry_to_prometheus(registry)
+        assert "# TYPE service_flush_ms summary" in text
+        assert 'service_flush_ms{quantile="0.5"} 3' in text
+        assert "service_flush_ms_sum 110" in text
+        assert "service_flush_ms_count 5" in text
+
+    def test_summary_round_trip(self, registry):
+        parsed = parse_prometheus(registry_to_prometheus(registry))
+        summary = parsed["service_flush_ms"]
+        assert summary["type"] == "summary"
+        sketch = registry.quantile("service.flush.ms")
+        assert summary["quantiles"] == {
+            "0.5": sketch.quantile(0.5),
+            "0.9": sketch.quantile(0.9),
+            "0.99": sketch.quantile(0.99),
+        }
+        assert summary["sum"] == sketch.total
+        assert summary["count"] == 5.0
+
+    def test_registry_jsonl_restores_sketch_state(self, registry):
+        back = registry_from_jsonl(registry_to_jsonl(registry))
+        original = registry.quantile("service.flush.ms")
+        restored = back.quantile("service.flush.ms")
+        assert restored.summary() == original.summary()
+        assert restored.quantile(0.73) == original.quantile(0.73)
+
+
+class TestPrometheusHardening:
+    def test_name_sanitization_is_stable_and_legal(self):
+        registry = MetricsRegistry()
+        with obs.enabled_scope():
+            registry.counter("weird metric-name!{}").inc()
+            registry.counter("7starts.with.digit").inc(2)
+        text = registry_to_prometheus(registry)
+        assert "weird_metric_name___ 1" in text
+        assert "_7starts_with_digit 2" in text
+        # Legal exposition names only: every sample line parses back.
+        parsed = parse_prometheus(text)
+        assert parsed["weird_metric_name___"]["value"] == 1.0
+        assert parsed["_7starts_with_digit"]["value"] == 2.0
+
+    def test_label_value_escaping_round_trips(self):
+        ring = TimeSeriesRing(capacity=4)
+        nasty = 'queue "depth"\nwith\\slashes'
+        ring.record(nasty, 7.0)
+        text = timeseries_to_prometheus(ring)
+        assert '\\"depth\\"' in text
+        assert "\\n" in text
+        assert "\\\\slashes" in text
+        parsed = parse_prometheus(text)
+        samples = parsed["repro_timeseries"]["samples"]
+        assert samples == [{"labels": {"series": nasty}, "value": 7.0}]
+
+    def test_timeseries_gauge_family_exposes_latest(self):
+        ring = TimeSeriesRing(capacity=4)
+        for v in (1.0, 2.0, 9.0):
+            ring.record("ingest_edges_per_s", v)
+        parsed = parse_prometheus(timeseries_to_prometheus(ring))
+        samples = parsed["repro_timeseries"]["samples"]
+        assert samples[0]["labels"] == {"series": "ingest_edges_per_s"}
+        assert samples[0]["value"] == 9.0
+
+
+class TestTimeSeriesJsonl:
+    def test_round_trip_is_lossless(self):
+        ring = TimeSeriesRing(capacity=8)
+        for i in range(5):
+            ring.record("a", float(i), ts=float(100 + i))
+            ring.record("b", float(-i), ts=float(100 + i))
+        back = timeseries_from_jsonl(timeseries_to_jsonl(ring))
+        for name in ("a", "b"):
+            ts0, v0 = ring.series(name)
+            ts1, v1 = back.series(name)
+            assert ts1.tolist() == ts0.tolist()
+            assert v1.tolist() == v0.tolist()
+
+    def test_round_trip_after_wraparound(self):
+        ring = TimeSeriesRing(capacity=4)
+        for i in range(11):
+            ring.record("q", float(i), ts=float(i))
+        back = timeseries_from_jsonl(timeseries_to_jsonl(ring))
+        assert back.series("q")[1].tolist() == [7.0, 8.0, 9.0, 10.0]
+
+    def test_empty_ring(self):
+        assert timeseries_to_jsonl(TimeSeriesRing()) == ""
+        back = timeseries_from_jsonl("")
+        assert back.names() == []

@@ -1,0 +1,201 @@
+"""Tests for the shared quantile sketch (accuracy, merging, gating).
+
+The sketch's contract has three load-bearing clauses:
+
+* **exact under capacity** — while every observation fits the reservoir,
+  quantiles equal ``numpy.percentile`` bit-for-bit (this is what lets
+  :mod:`repro.core.probes` delegate here);
+* **bounded + sane over capacity** — the reservoir stays a uniform
+  sample, so quantile estimates land near the truth on adversarial
+  shapes;
+* **mergeable** — combining per-shard sketches behaves like sketching
+  the concatenated stream (exactly, when everything fits).
+"""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quantiles import QuantileSketch, quantile_key
+
+
+def adversarial_streams():
+    rng = np.random.default_rng(42)
+    return {
+        "constant": np.full(400, 3.25),
+        "bimodal": np.concatenate([rng.normal(1.0, 0.05, 300),
+                                   rng.normal(100.0, 5.0, 100)]),
+        "heavy_tail": rng.pareto(1.5, 400) + 1.0,
+        "tiny": np.array([7.0, 1.0, 9.0]),          # n << capacity
+        "single": np.array([42.0]),
+        "sorted_ascending": np.arange(500, dtype=np.float64),
+    }
+
+
+class TestExactUnderCapacity:
+    @pytest.mark.parametrize("name", sorted(adversarial_streams()))
+    def test_matches_numpy_percentile_bitwise(self, name):
+        values = adversarial_streams()[name]
+        sketch = QuantileSketch.from_array(values)
+        assert sketch.exact
+        for q in (0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+            assert sketch.quantile(q) == float(np.percentile(values, q * 100))
+
+    @pytest.mark.parametrize("name", sorted(adversarial_streams()))
+    def test_summary_moments_match_numpy(self, name):
+        values = adversarial_streams()[name]
+        sketch = QuantileSketch.from_array(values)
+        summary = sketch.summary()
+        assert summary["count"] == values.size
+        assert summary["min"] == float(values.min())
+        assert summary["max"] == float(values.max())
+        assert summary["mean"] == pytest.approx(float(values.mean()),
+                                                rel=1e-12)
+
+    def test_streaming_matches_bulk_under_capacity(self):
+        values = adversarial_streams()["bimodal"]
+        streamed = QuantileSketch(capacity=values.size)
+        for v in values:
+            streamed.observe(v)
+        bulk = QuantileSketch.from_array(values)
+        assert streamed.quantile_values() == bulk.quantile_values()
+
+    def test_empty_sketch_reports_zeros(self):
+        sketch = QuantileSketch()
+        assert sketch.count == 0
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.summary()["p99"] == 0.0
+
+
+class TestOverCapacity:
+    def test_reservoir_stays_bounded(self):
+        sketch = QuantileSketch(capacity=64)
+        for v in range(10_000):
+            sketch.observe(float(v))
+        assert sketch.count == 10_000
+        assert sketch.samples().size == 64
+        assert not sketch.exact
+
+    def test_estimates_near_truth_on_uniform(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 1.0, 50_000)
+        sketch = QuantileSketch(capacity=512, seed=1)
+        sketch.observe_many(values)
+        for q in (0.5, 0.9, 0.99):
+            assert sketch.quantile(q) == pytest.approx(q, abs=0.08)
+
+    def test_min_max_sum_stay_exact_over_capacity(self):
+        rng = np.random.default_rng(3)
+        values = rng.pareto(1.5, 20_000) + 1.0
+        sketch = QuantileSketch(capacity=128)
+        sketch.observe_many(values)
+        assert sketch.min_value == float(values.min())
+        assert sketch.max_value == float(values.max())
+        assert sketch.total == pytest.approx(float(values.sum()), rel=1e-9)
+
+
+class TestMerge:
+    def test_exact_merge_equals_concatenated_stream(self):
+        a, b = np.arange(50.0), np.arange(100.0, 140.0)
+        left = QuantileSketch(capacity=256)
+        left.observe_many(a)
+        right = QuantileSketch(capacity=256)
+        right.observe_many(b)
+        left.merge(right)
+        both = np.concatenate([a, b])
+        assert left.exact
+        for q in (0.5, 0.9, 0.99):
+            assert left.quantile(q) == float(np.percentile(both, q * 100))
+
+    def test_merge_associative_under_capacity(self):
+        rng = np.random.default_rng(9)
+        chunks = [rng.normal(i, 1.0, 40) for i in range(3)]
+
+        def sketch_of(arrays):
+            out = QuantileSketch(capacity=512)
+            for arr in arrays:
+                part = QuantileSketch(capacity=512)
+                part.observe_many(arr)
+                out.merge(part)
+            return out
+
+        ab_c = sketch_of(chunks)  # (a + b) + c, left fold
+        a_bc = QuantileSketch(capacity=512)
+        bc = QuantileSketch(capacity=512)
+        bc.observe_many(chunks[1])
+        tail = QuantileSketch(capacity=512)
+        tail.observe_many(chunks[2])
+        bc.merge(tail)
+        a_bc.observe_many(chunks[0])
+        a_bc.merge(bc)
+        # Under capacity both groupings retain every sample, so the
+        # quantiles agree bit-for-bit regardless of association order.
+        assert ab_c.quantile_values() == a_bc.quantile_values()
+        assert ab_c.count == a_bc.count
+        assert ab_c.total == pytest.approx(a_bc.total, rel=1e-12)
+
+    def test_lossy_merge_tracks_concatenated_truth(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(10.0, 1.0, 30_000)
+        b = rng.normal(20.0, 1.0, 10_000)
+        left = QuantileSketch(capacity=512, seed=2)
+        left.observe_many(a)
+        right = QuantileSketch(capacity=512, seed=3)
+        right.observe_many(b)
+        left.merge(right)
+        both = np.concatenate([a, b])
+        assert left.count == both.size
+        # A uniform 512-sample reservoir of the 40k stream: the p50 sits
+        # between the modes and must reflect the 3:1 mix, not either side.
+        assert left.quantile(0.5) == pytest.approx(
+            float(np.percentile(both, 50)), abs=1.0)
+        assert left.quantile(0.99) == pytest.approx(
+            float(np.percentile(both, 99)), abs=1.5)
+
+    def test_merge_empty_is_identity(self):
+        sketch = QuantileSketch.from_array([1.0, 2.0, 3.0])
+        before = sketch.summary()
+        sketch.merge(QuantileSketch())
+        assert sketch.summary() == before
+
+
+class TestGatingAndRegistry:
+    def test_record_is_gated_observe_is_not(self):
+        sketch = QuantileSketch()
+        assert not obs.is_enabled()
+        sketch.record(1.0)
+        assert sketch.count == 0
+        sketch.observe(1.0)
+        assert sketch.count == 1
+        with obs.enabled_scope():
+            sketch.record(2.0)
+        assert sketch.count == 2
+
+    def test_registry_accessor_registers_and_collects(self):
+        registry = MetricsRegistry()
+        sketch = registry.quantile("svc.latency_ms", "per-op latency")
+        assert registry.quantile("svc.latency_ms") is sketch
+        sketch.observe_many([1.0, 2.0, 3.0, 4.0])
+        collected = registry.collect()
+        assert collected["svc.latency_ms"]["count"] == 4
+        assert collected["svc.latency_ms"]["p50"] == 2.5
+
+    def test_state_restore_round_trip(self):
+        sketch = QuantileSketch(capacity=32)
+        sketch.observe_many(np.arange(100.0))
+        back = QuantileSketch(capacity=32).restore(sketch.state())
+        assert back.summary() == sketch.summary()
+
+    def test_quantile_key_formats(self):
+        assert quantile_key(0.5) == "p50"
+        assert quantile_key(0.99) == "p99"
+        assert quantile_key(0.999) == "p99.9"
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(capacity=0)
+        with pytest.raises(ValueError):
+            QuantileSketch(quantiles=(0.9, 0.5))
+        with pytest.raises(ValueError):
+            QuantileSketch(quantiles=(0.0,))

@@ -1,0 +1,301 @@
+"""Tests for the flight recorder, time-series ring, and sampler.
+
+Covers the black-box contract (bounded event ring, span capture via the
+tracer listener, post-mortem dumps + the ``repro blackbox`` loader), the
+ring's wraparound/concurrency behaviour, and the service integrations:
+breaker-open and recovery leave ``blackbox-*.json`` dumps, ``health()``
+carries uptime / checkpoint age / last event / time-series vitals.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.errors import ServiceError
+from repro.obs.recorder import (
+    BLACKBOX_SCHEMA,
+    FlightRecorder,
+    blackbox_path,
+    get_recorder,
+    list_blackboxes,
+    load_blackbox,
+    set_recorder,
+)
+from repro.obs.timeseries import MetricsSampler, TimeSeriesRing
+from repro.service import GraphService, TransientFaultInjector, recover
+from repro.workloads import rmat_edges
+
+
+@pytest.fixture
+def recorder():
+    """A fresh default recorder, restored (and obs disabled) afterwards."""
+    fresh = FlightRecorder(capacity=16, span_capacity=8)
+    prior = set_recorder(fresh)
+    try:
+        yield fresh
+    finally:
+        obs.disable()
+        set_recorder(prior)
+
+
+@pytest.fixture
+def edges():
+    return rmat_edges(8, 2000, seed=7)
+
+
+def drive(svc, edges, step=250):
+    for i in range(0, edges.shape[0], step):
+        svc.submit_insert(edges[i:i + step])
+    svc.flush_now()
+
+
+class TestFlightRecorder:
+    def test_record_is_gated_observe_is_not(self, recorder):
+        recorder.record("wal.retry", attempt=1)
+        assert recorder.events() == []
+        recorder.observe("wal.retry", attempt=1)
+        assert len(recorder.events()) == 1
+        with obs.enabled_scope():
+            recorder.record("wal.retry", attempt=2)
+        assert len(recorder.events()) == 2
+
+    def test_ring_is_bounded_but_total_counts_on(self, recorder):
+        for i in range(40):
+            recorder.observe("fsck", i=i)
+        events = recorder.events()
+        assert len(events) == 16
+        assert recorder.n_events == 40
+        assert [e["detail"]["i"] for e in events] == list(range(24, 40))
+
+    def test_kind_filter_and_last_event(self, recorder):
+        recorder.observe("wal.retry", attempt=1)
+        recorder.observe("breaker.open", consecutive=3)
+        assert [e["kind"] for e in recorder.events("wal.retry")] == ["wal.retry"]
+        assert recorder.last_event()["kind"] == "breaker.open"
+
+    def test_tracer_listener_captures_root_spans(self, recorder):
+        with obs.enabled_scope():
+            with obs.span("outer", phase="x"):
+                with obs.span("inner"):
+                    pass
+        spans = recorder.spans()
+        assert [s["name"] for s in spans] == ["outer"]
+        assert spans[0]["n_descendants"] == 1
+        assert spans[0]["attrs"] == {"phase": "x"}
+
+    def test_dump_and_load_round_trip(self, recorder, tmp_path):
+        recorder.observe("breaker.open", consecutive=2)
+        path = recorder.dump(blackbox_path(tmp_path, "breaker-open"),
+                             "breaker-open", extra="ctx")
+        record = load_blackbox(path)
+        assert record["schema"] == BLACKBOX_SCHEMA
+        assert record["reason"] == "breaker-open"
+        assert record["context"] == {"extra": "ctx"}
+        assert record["events"][-1]["kind"] == "breaker.open"
+
+    def test_load_rejects_non_blackbox_json(self, tmp_path):
+        other = tmp_path / "report.json"
+        other.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValueError, match="not a flight-recorder dump"):
+            load_blackbox(other)
+
+    def test_list_blackboxes_newest_first(self, recorder, tmp_path):
+        import os
+
+        first = recorder.dump(blackbox_path(tmp_path, "recovery"), "recovery")
+        second = recorder.dump(blackbox_path(tmp_path, "fatal"), "fatal")
+        os.utime(first, (1_000_000, 1_000_000))  # force distinct mtimes
+        assert list_blackboxes(tmp_path) == [second, first]
+        assert list_blackboxes(tmp_path / "missing") == []
+
+
+class TestTimeSeriesRing:
+    def test_wraparound_keeps_newest_window_in_order(self):
+        ring = TimeSeriesRing(capacity=4)
+        for i in range(10):
+            ring.record("q", float(i), ts=float(i))
+        ts, values = ring.series("q")
+        assert values.tolist() == [6.0, 7.0, 8.0, 9.0]
+        assert ts.tolist() == [6.0, 7.0, 8.0, 9.0]
+        assert ring.latest("q") == (9.0, 9.0)
+
+    def test_missing_series_is_empty_not_error(self):
+        ring = TimeSeriesRing()
+        ts, values = ring.series("nope")
+        assert ts.size == 0 and values.size == 0
+        assert ring.latest("nope") is None
+
+    def test_summary_shape(self):
+        ring = TimeSeriesRing(capacity=8)
+        for v in (1.0, 2.0, 3.0):
+            ring.record("depth", v)
+        summary = ring.summary()["depth"]
+        assert summary["n"] == 3
+        assert summary["latest"] == 3.0
+        assert summary["mean"] == 2.0
+
+    def test_concurrent_writers_and_readers(self):
+        ring = TimeSeriesRing(capacity=64)
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer(name):
+            i = 0
+            while not stop.is_set():
+                ring.record(name, float(i))
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    for name in ring.names():
+                        ts, values = ring.series(name)
+                        assert ts.shape == values.shape
+                        assert values.size <= 64
+                        # Chronological: timestamps never go backwards.
+                        assert np.all(np.diff(ts) >= 0)
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=writer, args=(f"s{i}",))
+                   for i in range(3)] + [threading.Thread(target=reader)
+                                         for _ in range(2)]
+        for t in threads:
+            t.start()
+        threading.Event().wait(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert all(ring.series(f"s{i}")[1].size == 64 for i in range(3))
+
+
+class TestMetricsSampler:
+    def test_gauge_and_rate_probes(self):
+        state = {"cum": 0.0}
+        sampler = MetricsSampler(interval=0.01)
+        sampler.add_gauge("depth", lambda: 5.0)
+        sampler.add_rate("edges_per_s", lambda: state["cum"])
+        sampler.sample_once(now=100.0)  # seeds the rate baseline
+        state["cum"] = 300.0
+        sampler.sample_once(now=103.0)
+        _, depth = sampler.ring.series("depth")
+        assert depth.tolist() == [5.0, 5.0]
+        _, rate = sampler.ring.series("edges_per_s")
+        assert rate.tolist() == [100.0]  # 300 over 3 seconds
+
+    def test_probe_exceptions_are_swallowed(self):
+        sampler = MetricsSampler(interval=0.01)
+        sampler.add_gauge("bad", lambda: 1 / 0)
+        sampler.add_gauge("good", lambda: 1.0)
+        sampler.sample_once()
+        assert sampler.ring.series("bad")[1].size == 0
+        assert sampler.ring.series("good")[1].size == 1
+
+    def test_thread_lifecycle(self):
+        sampler = MetricsSampler(interval=0.01)
+        sampler.add_gauge("x", lambda: 1.0)
+        with sampler:
+            assert sampler.running
+            threading.Event().wait(0.08)
+        assert not sampler.running
+        assert sampler.ring.series("x")[1].size >= 2
+
+
+class TestServiceIntegration:
+    def test_breaker_open_dumps_blackbox(self, recorder, tmp_path, edges):
+        obs.enable()
+        injector = TransientFaultInjector(fail_every=1, hard=True)
+        svc = GraphService(tmp_path, batch_edges=200, flush_interval=0.005,
+                           injector=injector, breaker_threshold=2,
+                           breaker_reset=60.0)
+        try:
+            with pytest.raises(ServiceError):
+                drive(svc, edges)
+        finally:
+            svc.close()
+        dumps = list_blackboxes(tmp_path)
+        assert [d.name for d in dumps].count("blackbox-breaker-open.json") == 1
+        record = load_blackbox(dumps[0])
+        assert record["reason"] == "breaker-open"
+        kinds = [e["kind"] for e in record["events"]]
+        assert "flush.failed" in kinds
+        assert "breaker.open" in kinds
+        health = svc.health()
+        assert health["last_event"]["kind"] in ("breaker.open", "flush.failed")
+
+    def test_recovery_blackbox_always_populated(self, tmp_path, edges):
+        with GraphService(tmp_path, batch_edges=400,
+                          flush_interval=0.005) as svc:
+            drive(svc, edges)
+        assert not obs.is_enabled()
+        result = recover(tmp_path)
+        assert result.blackbox is not None
+        assert result.blackbox["reason"] == "recovery"
+        assert result.blackbox["last_seq"] == result.last_seq
+        assert result.blackbox["replayed_records"] == result.replayed_records
+        # Master switch down: facts in the result, no file side effects.
+        assert list_blackboxes(tmp_path) == []
+
+    def test_recovery_dump_written_when_enabled(self, recorder, tmp_path,
+                                                edges):
+        with GraphService(tmp_path, batch_edges=400,
+                          flush_interval=0.005) as svc:
+            drive(svc, edges)
+        obs.enable()
+        result = recover(tmp_path)
+        dumps = [d.name for d in list_blackboxes(tmp_path)]
+        assert "blackbox-recovery.json" in dumps
+        record = load_blackbox(blackbox_path(tmp_path, "recovery"))
+        assert record["context"]["last_seq"] == result.last_seq
+        assert get_recorder().last_event()["kind"] == "recovery"
+
+    def test_health_gains_uptime_and_checkpoint_age(self, tmp_path, edges):
+        with GraphService(tmp_path, batch_edges=400,
+                          flush_interval=0.005) as svc:
+            drive(svc, edges[:500])
+            health = svc.health()
+            assert health["uptime_s"] >= 0.0
+            assert health["last_checkpoint_age_s"] is None
+            assert health["last_event"] is None or "kind" in health["last_event"]
+            svc.checkpoint()
+            age = svc.health()["last_checkpoint_age_s"]
+            assert age is not None and age < 60.0
+
+    def test_checkpoint_age_survives_reopen_from_disk(self, tmp_path, edges):
+        with GraphService(tmp_path, batch_edges=400,
+                          flush_interval=0.005) as svc:
+            drive(svc, edges[:500])
+            svc.checkpoint()
+        svc, _ = GraphService.open(tmp_path)
+        try:
+            age = svc.health()["last_checkpoint_age_s"]
+            assert age is not None and age < 60.0
+        finally:
+            svc.close()
+
+    def test_sampler_rings_surface_in_health(self, tmp_path, edges):
+        svc = GraphService(tmp_path, batch_edges=400, flush_interval=0.005,
+                           sample_interval=0.02)
+        try:
+            drive(svc, edges[:1000])
+            svc._sampler.sample_once()
+            health = svc.health()
+            assert "timeseries" in health
+            assert "queue_depth" in health["timeseries"]
+            ts, values = svc.timeseries.series("queue_depth")
+            assert values.size >= 1
+        finally:
+            svc.close()
+        assert not svc._sampler.running
+
+    def test_no_sampler_by_default(self, tmp_path, edges):
+        with GraphService(tmp_path, batch_edges=400,
+                          flush_interval=0.005) as svc:
+            drive(svc, edges[:250])
+            assert svc.timeseries is None
+            assert "timeseries" not in svc.health()
