@@ -24,6 +24,13 @@ Gives shell access to the library's main workflows without writing code:
   through a temporary GraphService with the metrics sampler on and
   renders the time-series ring as sparklines (``--once`` prints a single
   frame for CI).
+* ``serve-net`` — host a service directory over TCP: the asyncio
+  :class:`~repro.net.server.GraphServer` speaking the length-prefixed
+  frame protocol (docs/network.md), mutations ticketed through the WAL,
+  reads served lock-free from the CSR snapshot.
+* ``loadgen`` — drive a running ``serve-net`` with closed-loop client
+  workers at a configurable read:write mix; prints the sustained op
+  rates and writes a ``BENCH_net_serve.json`` record.
 * ``report`` — diff two standardized ``BENCH_*.json`` records
   (``--baseline`` vs ``--current``); exits 1 on a perf regression.
 * ``blackbox`` — read a flight-recorder post-mortem dump (or list the
@@ -367,6 +374,139 @@ def cmd_serve(args) -> int:
           f"flushes: {service.n_flushes}")
     if injector is not None and hasattr(injector, "injected"):
         print(f"injected transient faults: {injector.injected}")
+    return 0
+
+
+def cmd_serve_net(args) -> int:
+    """Network front-end: host a GraphService directory over TCP.
+
+    Binds (``--port 0`` = ephemeral), optionally writes the bound port
+    to ``--port-file`` (how scripted callers discover it), then serves
+    until the duration elapses or the process is interrupted.  The
+    service directory is created fresh or recovered, same contract as
+    ``serve``.
+    """
+    import tempfile
+    import time as _time
+
+    from repro.net import ServerThread
+
+    # The server process runs ~10 runnable threads (event loop, flusher,
+    # mutation pool); at the default 5ms GIL switch interval the flusher
+    # convoys behind them on every GIL re-acquire, tripling micro-batch
+    # flush latency.  A 1ms interval keeps handoffs tight.
+    sys.setswitchinterval(0.001)
+    from repro.service import GraphService
+
+    if args.obs:
+        obs.enable()
+    if args.data_dir is None:
+        data_dir = Path(tempfile.mkdtemp(prefix="repro-serve-net-"))
+        print(f"serving ephemeral state in {data_dir}")
+    else:
+        data_dir = Path(args.data_dir)
+    service, rec = GraphService.open(
+        data_dir,
+        batch_edges=args.batch_size,
+        flush_interval=args.flush_interval,
+        sync=args.sync,
+        checkpoint_every=args.checkpoint_every,
+        breaker_threshold=args.breaker_threshold,
+        shed_reads_at=args.shed_reads_at,
+    )
+    if rec.replayed_records or rec.checkpoint_seq:
+        print(f"recovered {rec.store.n_edges} edges "
+              f"(checkpoint seq {rec.checkpoint_seq}, "
+              f"replayed {rec.replayed_records} WAL records)")
+    thread = ServerThread(service, args.host, args.port,
+                          pool_workers=args.pool_workers,
+                          view_refresh_s=args.view_refresh,
+                          view_patch_rows=args.view_patch_rows)
+    try:
+        thread.start()
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        service.close()
+        return 1
+    if args.port_file:
+        Path(args.port_file).write_text(f"{thread.port}\n")
+    print(f"listening on {args.host}:{thread.port} "
+          f"(protocol v1, data dir {data_dir})", flush=True)
+    deadline = (_time.monotonic() + args.duration) if args.duration else None
+    try:
+        while deadline is None or _time.monotonic() < deadline:
+            _time.sleep(0.2)
+            if service.fatal_error is not None:
+                print(f"service failed: {service.fatal_error}",
+                      file=sys.stderr)
+                return 1
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        thread.stop()
+        service.close(checkpoint=args.final_checkpoint)
+    print(f"served {thread.server.n_connections} connections; "
+          f"final edges: {service.n_edges}  last seq: {service.applied_seq}")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Closed-loop load generator against a running ``serve-net``."""
+    from repro.bench.records import write_bench_record
+    from repro.net.loadgen import loadgen_record, run_loadgen
+
+    # Same GIL-convoy mitigation as serve-net: the measured client-side
+    # latencies include time a worker thread spends waiting for the GIL
+    # behind its siblings.
+    sys.setswitchinterval(0.001)
+
+    port = args.port
+    if args.port_file:
+        port = int(Path(args.port_file).read_text().strip())
+    if not port:
+        raise WorkloadError("need --port or --port-file")
+    stats = run_loadgen(
+        args.host, port,
+        clients=args.clients,
+        duration=args.duration,
+        read_fraction=args.read_fraction,
+        scale=args.scale,
+        batch_edges=args.batch_edges,
+        batches_per_worker=args.batches_per_worker,
+        seed=args.seed,
+        retries=args.retries,
+        timeout=args.timeout,
+    )
+    summary = stats.summary()
+    table = Table("loadgen", ["metric", "value"])
+    table.add_row(["wall_s", f"{summary['wall_s']:.2f}"])
+    table.add_row(["read ops/s", f"{summary['read_ops_per_s']:.0f}"])
+    table.add_row(["write ops/s", f"{summary['write_ops_per_s']:.0f}"])
+    table.add_row(["read p50/p99 ms",
+                   f"{summary['read_p50_ms']:.2f} / "
+                   f"{summary['read_p99_ms']:.2f}"])
+    table.add_row(["write p50/p99 ms",
+                   f"{summary['write_p50_ms']:.2f} / "
+                   f"{summary['write_p99_ms']:.2f}"])
+    table.add_row(["edges written", str(summary['n_edges_written'])])
+    table.add_row(["transient retries", str(summary['n_retries'])])
+    table.add_row(["typed errors", str(summary['errors'] or "none")])
+    table.add_row(["generation regressions",
+                   str(summary['generation_regressions'])])
+    print(table.render())
+    if not args.no_record:
+        record = loadgen_record(
+            stats, clients=args.clients, duration=args.duration,
+            read_fraction=args.read_fraction, scale=args.scale,
+            batch_edges=args.batch_edges)
+        path = write_bench_record(record, args.record_dir)
+        print(f"bench record: {path}")
+    if summary["generation_regressions"]:
+        print("error: read generation went backwards", file=sys.stderr)
+        return 1
+    if stats.total_ops == 0:
+        print("error: no operation completed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -751,6 +891,76 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable full telemetry (metrics, sketches, flight "
                         "recorder); crashes leave a blackbox-*.json dump")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("serve-net", parents=[common],
+                       help="host a service directory over TCP (frame "
+                            "protocol, docs/network.md)")
+    p.add_argument("--data-dir", default=None,
+                   help="service directory (default: fresh temp dir)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral)")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="write the bound port here once listening")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="serve for this many seconds (0 = forever)")
+    p.add_argument("--batch-size", type=int, default=2048,
+                   help="service micro-batch size in edges")
+    p.add_argument("--flush-interval", type=float, default=0.002,
+                   help="latency flush trigger in seconds")
+    p.add_argument("--sync", default="batch",
+                   choices=["always", "batch", "never"],
+                   help="WAL fsync policy")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N")
+    p.add_argument("--final-checkpoint", action="store_true")
+    p.add_argument("--breaker-threshold", type=int, default=0, metavar="N",
+                   help="open the circuit breaker after N consecutive "
+                        "flush failures (0 = fail-stop)")
+    p.add_argument("--shed-reads-at", type=int, default=0, metavar="DEPTH",
+                   help="answer reads with SHED frames when the ingest "
+                        "queue reaches this depth (0 = never)")
+    p.add_argument("--pool-workers", type=int, default=8,
+                   help="server thread pool size (mutation waits)")
+    p.add_argument("--view-refresh", type=float, default=0.25,
+                   metavar="SECONDS",
+                   help="min interval between read-view re-captures "
+                        "(bounded read staleness; 0 = every batch)")
+    p.add_argument("--view-patch-rows", type=int, default=512,
+                   help="max dirty rows re-measured per re-capture "
+                        "(bounds the ingest stall a capture can cause)")
+    p.add_argument("--obs", action="store_true",
+                   help="enable telemetry (net.* metrics, health detail)")
+    p.set_defaults(func=cmd_serve_net)
+
+    p = sub.add_parser("loadgen", parents=[common],
+                       help="drive a running serve-net with closed-loop "
+                            "client workers")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="read the target port from this file")
+    p.add_argument("--clients", type=int, default=4,
+                   help="closed-loop worker count")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="seconds to generate load")
+    p.add_argument("--read-fraction", type=float, default=0.9,
+                   help="fraction of ops that are reads (default: 0.9)")
+    p.add_argument("--scale", type=int, default=14,
+                   help="RMAT scale of the mutation stream / read keys")
+    p.add_argument("--batch-edges", type=int, default=16,
+                   help="edges per mutation batch")
+    p.add_argument("--batches-per-worker", type=int, default=64,
+                   help="pre-generated mutation batches per worker")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--retries", type=int, default=3,
+                   help="transient-error retries per request")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request client timeout in seconds")
+    p.add_argument("--record-dir", default=None, metavar="DIR",
+                   help="directory for BENCH_net_serve.json")
+    p.add_argument("--no-record", action="store_true",
+                   help="skip writing the bench record")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("recover", parents=[common],
                        help="recover a service directory (checkpoint + WAL)")

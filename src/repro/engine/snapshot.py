@@ -42,6 +42,7 @@ Observability (when :mod:`repro.obs` is enabled):
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import fields as _dataclass_fields
 
 import numpy as np
@@ -122,6 +123,17 @@ class AnalyticsSnapshot:
         self._indptr = np.zeros(1, dtype=np.int64)
         self._dst = np.empty(0, dtype=np.int64)
         self._weight = np.empty(0, dtype=np.float64)
+        # Serving-tier patch overlay: rows re-measured since the last
+        # flat rebuild, mapped to their current (dst, weight) arrays.
+        # Lets `sync()` stay O(dirty rows) instead of paying the O(E)
+        # concatenation per call; the flat rebuild amortizes over many
+        # syncs (see `sync`).
+        self._overlay: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # Round-robin resume point for budgeted syncs (`max_rows`): the
+        # next capped sync starts measuring at the first dirty row >=
+        # this cursor, so sustained churn on low rows cannot starve high
+        # ones.
+        self._patch_cursor = 0
         # original -> dense translation cache (GraphTinker + SGH only)
         self._xlat_count = -1
         self._xlat_originals = np.empty(0, dtype=np.int64)
@@ -130,6 +142,13 @@ class AnalyticsSnapshot:
         self.hits = 0
         self.rebuilds = 0
         self.patched_rows = 0
+        #: Monotonic view version: bumped every time a sync changes the
+        #: published view (rows patched into the overlay, rows appended,
+        #: or the flat arrays rebuilt).  0 means "never synced" — a
+        #: reader holding generation g knows the view reflects every
+        #: mutation applied before the sync that produced g, and nothing
+        #: after.
+        self.generation = 0
 
     # ------------------------------------------------------------------ #
     # dirty tracking (store hooks)
@@ -155,6 +174,85 @@ class AnalyticsSnapshot:
         self._flat_ok = False
         self._xlat_count = -1
 
+    @property
+    def pending_rows(self) -> int:
+        """Rows the next sync will re-measure (observable staleness)."""
+        if self._all_dirty:
+            return len(self._rows_dst)
+        new_rows = max(0, self._store_rows() - len(self._rows_dst))
+        return len(self._dirty) + new_rows
+
+    # ------------------------------------------------------------------ #
+    # lock-free read-path accessors (repro.net serving tier)
+    # ------------------------------------------------------------------ #
+    def sync(self, *, rebuild_ratio: float = 0.05,
+             rebuild_min: int = 1024,
+             max_rows: int | None = None) -> int:
+        """Bring the *serving* view current; return the new generation.
+
+        Cheap by design: dirty rows are re-measured and patched into the
+        overlay (O(changed rows)), and the O(E) flat rebuild only runs
+        when the overlay has grown past ``max(rebuild_min, rebuild_ratio
+        * n_rows)`` — so a serving tier syncing after every applied
+        micro-batch pays for what changed, not for the whole graph.
+
+        ``max_rows`` bounds the per-call patch work: at most that many
+        dirty rows are re-measured (round-robin across the row space),
+        the rest stay dirty for the next sync.  A capped sync trades
+        strict freshness ("view reflects everything applied before it")
+        for a hard ceiling on how long the caller's lock is held —
+        :attr:`pending_rows` says how much backlog remains, and repeated
+        capped syncs drain it.  The returned generation stays monotonic
+        either way.
+
+        Call under whatever lock serializes store mutations (the service
+        holds its store lock).
+        """
+        patched = self._sync_rows(max_rows=max_rows)
+        if patched:
+            for row in patched:
+                self._overlay[row] = (self._rows_dst[row],
+                                      self._rows_weight[row])
+            self.generation += 1
+        if not self._flat_ok and len(self._overlay) >= max(
+                rebuild_min, int(rebuild_ratio * len(self._rows_dst))):
+            self._rebuild_flat()
+        return self.generation
+
+    def view_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The last-rebuilt flat CSR triple ``(indptr, dst, weight)``.
+
+        Arrays are *replaced*, never mutated in place, on rebuild — so a
+        caller that captured references under the store lock can keep
+        reading them lock-free while mutations continue; it simply sees
+        the generation it captured.  Call :meth:`sync` first, and layer
+        :meth:`overlay_rows` on top — rows patched since the rebuild are
+        only current there.
+        """
+        return self._indptr, self._dst, self._weight
+
+    def overlay_rows(self) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Copy of the patch overlay: dense row -> ``(dst, weight)``.
+
+        The returned dict is the caller's to keep (a shallow copy; the
+        arrays themselves are replaced-not-mutated on re-measure, same
+        license as :meth:`view_arrays`).  A row present here shadows its
+        flat-CSR slice; a row ``>= len(indptr) - 1`` that is absent has
+        no edges yet.
+        """
+        return dict(self._overlay)
+
+    def translation(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted original ids and their dense rows (GraphTinker + SGH).
+
+        The same replace-don't-mutate license as :meth:`view_arrays`:
+        refresh under the store lock, then read the captured arrays
+        lock-free.  Uncharged (serving-tier reads live outside the
+        modeled cost world).
+        """
+        self._refresh_xlat()
+        return self._xlat_originals, self._xlat_dense
+
     # ------------------------------------------------------------------ #
     # sync: patch dirty rows, rebuild the flat CSR arrays
     # ------------------------------------------------------------------ #
@@ -174,7 +272,15 @@ class AnalyticsSnapshot:
         self._rows_dst[row] = dst
         self._rows_weight[row] = weight
 
-    def _sync(self) -> None:
+    def _sync_rows(self, max_rows: int | None = None) -> set[int]:
+        """Grow the row table and re-measure dirty rows (no flat rebuild).
+
+        With ``max_rows`` set, at most that many dirty rows are measured
+        per call, resuming round-robin from :attr:`_patch_cursor`; the
+        remainder stays in ``_dirty``.  Returns the set of rows whose
+        cached arrays changed; the flat CSR is stale (``_flat_ok``
+        False) whenever that set is nonempty.
+        """
         n_store = self._store_rows()
         n = len(self._rows_dst)
         if n_store > n:
@@ -189,37 +295,64 @@ class AnalyticsSnapshot:
         if self._all_dirty:
             self._dirty.update(range(len(self._rows_dst)))
             self._all_dirty = False
+        patched: set[int] = set()
         if self._dirty:
-            for row in sorted(self._dirty):
+            if max_rows is not None and len(self._dirty) > max_rows:
+                rows_sorted = sorted(self._dirty)
+                i = bisect.bisect_left(rows_sorted, self._patch_cursor)
+                todo = (rows_sorted[i:] + rows_sorted[:i])[:max_rows]
+                self._patch_cursor = todo[-1] + 1
+                self._dirty.difference_update(todo)
+                patched = set(todo)
+            else:
+                todo = sorted(self._dirty)
+                patched = self._dirty
+                self._dirty = set()
+            for row in todo:
                 self._measure_row(row)
-            self.patched_rows += len(self._dirty)
+            self.patched_rows += len(patched)
             if obs_hooks.enabled:
-                self._counter("patched_rows", len(self._dirty))
+                self._counter("patched_rows", len(patched))
                 from repro.obs.metrics import get_registry
 
                 get_registry().quantile(
                     "engine.snapshot.patch_rows",
                     "rows re-measured per snapshot sync",
-                ).record(len(self._dirty))
-            self._dirty.clear()
+                ).record(len(patched))
             self._flat_ok = False
+        return patched
+
+    def _rebuild_flat(self) -> None:
+        """Concatenate the row cache into fresh flat CSR arrays.
+
+        The O(E) step: new ``indptr/dst/weight`` arrays are built and
+        *swapped in* (never written in place), the overlay they absorb
+        is cleared, and the generation advances.
+        """
+        counts = np.fromiter(
+            (a.shape[0] for a in self._rows_dst),
+            dtype=np.int64, count=len(self._rows_dst),
+        )
+        self._indptr = np.zeros(counts.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._indptr[1:])
+        if self._rows_dst:
+            self._dst = np.concatenate(self._rows_dst)
+            self._weight = np.concatenate(self._rows_weight)
+        else:
+            self._dst = np.empty(0, dtype=np.int64)
+            self._weight = np.empty(0, dtype=np.float64)
+        self._overlay = {}
+        self._flat_ok = True
+        self.rebuilds += 1
+        self.generation += 1
+        if obs_hooks.enabled:
+            self._counter("rebuilds", 1)
+
+    def _sync(self) -> None:
+        """Engine-path sync: rows current AND flat arrays current."""
+        self._sync_rows()
         if not self._flat_ok:
-            counts = np.fromiter(
-                (a.shape[0] for a in self._rows_dst),
-                dtype=np.int64, count=len(self._rows_dst),
-            )
-            self._indptr = np.zeros(counts.shape[0] + 1, dtype=np.int64)
-            np.cumsum(counts, out=self._indptr[1:])
-            if self._rows_dst:
-                self._dst = np.concatenate(self._rows_dst)
-                self._weight = np.concatenate(self._rows_weight)
-            else:
-                self._dst = np.empty(0, dtype=np.int64)
-                self._weight = np.empty(0, dtype=np.float64)
-            self._flat_ok = True
-            self.rebuilds += 1
-            if obs_hooks.enabled:
-                self._counter("rebuilds", 1)
+            self._rebuild_flat()
 
     @staticmethod
     def _counter(suffix: str, by: int) -> None:
@@ -259,13 +392,7 @@ class AnalyticsSnapshot:
         idx = base + np.arange(total, dtype=np.int64)
         return np.repeat(src_ids, counts), self._dst[idx], self._weight[idx]
 
-    def _translate(self, active: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Uncharged original->dense lookup for a sorted frontier.
-
-        Returns ``(found_mask, dense_rows_of_found)``; ids the SGH has
-        never seen (or whose dense row is not yet allocated) come back
-        not-found, matching the native ``degree() == 0`` skip.
-        """
+    def _refresh_xlat(self) -> None:
         sgh = self.store.sgh
         if self._xlat_count != len(sgh):
             originals = sgh.reverse_view()
@@ -273,6 +400,15 @@ class AnalyticsSnapshot:
             self._xlat_originals = originals[order].copy()
             self._xlat_dense = order.astype(np.int64)
             self._xlat_count = len(sgh)
+
+    def _translate(self, active: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Uncharged original->dense lookup for a sorted frontier.
+
+        Returns ``(found_mask, dense_rows_of_found)``; ids the SGH has
+        never seen (or whose dense row is not yet allocated) come back
+        not-found, matching the native ``degree() == 0`` skip.
+        """
+        self._refresh_xlat()
         table = self._xlat_originals
         if table.size == 0:
             return np.zeros(active.shape[0], dtype=bool), np.empty(0, dtype=np.int64)

@@ -48,5 +48,47 @@ class ServiceError(ReproError):
     data after them), a sequence gap between a checkpoint and the
     surviving WAL tail, queue-full backpressure timeouts, and submissions
     to a stopped service.  Messages name the offending file/offset or
-    sequence numbers so an operator can act on them.
+    sequence numbers so an operator can act on them.  Overload conditions
+    raise the typed subclasses below so callers (and the network layer)
+    can map them without parsing messages.
+    """
+
+
+class ShedError(ServiceError):
+    """A read was shed because the ingest queue is over the shed mark.
+
+    Transient by construction: the read was rejected *instead of*
+    queueing behind a saturated flusher, so retrying after a backoff is
+    the intended client response.
+    """
+
+
+class BreakerOpenError(ServiceError):
+    """The service's circuit breaker is open; work was fast-failed.
+
+    Raised both for new submissions while open and for queued tickets
+    that were failed when the breaker tripped.  Clears after
+    ``breaker_reset`` seconds once the underlying fault stops recurring.
+    """
+
+
+class QueueFullError(ServiceError):
+    """Backpressure timeout: the bounded ingest queue stayed full."""
+
+
+class NetError(ReproError):
+    """A network-layer failure talking to (or serving) a graph service.
+
+    Covers transport-level failures the typed remote errors cannot:
+    exhausted reconnect attempts, a server that vanished mid-request,
+    or a remote fault with no more specific mapping.
+    """
+
+
+class ProtocolError(NetError):
+    """The wire protocol was violated (bad frame, codec, or version).
+
+    Raised for garbage/truncated frame prefixes, oversized declared
+    lengths, unknown codec bytes, undecodable payloads, and protocol
+    version mismatches during the hello handshake.
     """

@@ -1,0 +1,63 @@
+"""Network front-end: the wire protocol and serving tier.
+
+``repro.net`` turns one durable :class:`~repro.service.GraphService`
+into a network service:
+
+* :mod:`repro.net.frames` — length-prefixed frame codec (JSON default,
+  msgpack when available) shared by every peer.
+* :mod:`repro.net.protocol` — protocol version, op table, typed error
+  code ↔ exception mapping, the canonical state digest.
+* :mod:`repro.net.readpath` — immutable CSR :class:`ReadView` captures
+  and the lock-free graph queries served from them.
+* :mod:`repro.net.server` — the asyncio :class:`GraphServer` (and the
+  thread-hosted :class:`ServerThread` wrapper).
+* :mod:`repro.net.client` / :mod:`repro.net.aioclient` — sync and async
+  clients with typed remote errors and transient-error retry.
+* :mod:`repro.net.loadgen` — the closed-loop load generator behind
+  ``python -m repro loadgen`` and ``BENCH_net_serve.json``.
+
+See docs/network.md for the protocol spec and staleness semantics.
+"""
+
+from repro.net.aioclient import AsyncGraphClient
+from repro.net.client import GraphClient
+from repro.net.frames import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    MSGPACK_AVAILABLE,
+    encode_frame,
+    read_frame,
+    supported_codecs,
+)
+from repro.net.loadgen import LoadStats, loadgen_record, run_loadgen
+from repro.net.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    RETRYABLE_CODES,
+    store_digest,
+)
+from repro.net.readpath import ReadView, capture_view, capture_view_locked
+from repro.net.server import GraphServer, ServerThread
+
+__all__ = [
+    "AsyncGraphClient",
+    "DEFAULT_MAX_FRAME",
+    "FrameDecoder",
+    "GraphClient",
+    "GraphServer",
+    "LoadStats",
+    "MSGPACK_AVAILABLE",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "RETRYABLE_CODES",
+    "ReadView",
+    "ServerThread",
+    "capture_view",
+    "capture_view_locked",
+    "encode_frame",
+    "loadgen_record",
+    "read_frame",
+    "run_loadgen",
+    "store_digest",
+    "supported_codecs",
+]

@@ -1,0 +1,260 @@
+"""Closed-loop load generator for a running GraphServer.
+
+``N`` worker threads, each owning one :class:`~repro.net.client.
+GraphClient`, issue a seeded random mix of reads (``degree`` /
+``neighbors`` / ``khop``) and ticketed mutations (``insert_edges`` of
+RMAT batches) against one server for a fixed duration.  *Closed-loop*
+means each worker waits for every response before sending the next
+request — measured throughput is what the server actually sustains at
+this concurrency, not an open-loop arrival fantasy.
+
+The RMAT mutation stream is pre-generated (one disjoint slice per
+worker) so generation cost never pollutes the measured window, and the
+read keys are drawn from the same vertex id distribution the mutations
+populate — reads hit real topology, not empty rows.
+
+Results aggregate into a :class:`LoadStats` (per-family op counts,
+latency arrays, typed-error tallies, generation monotonicity check) and
+can be written as a standard ``BENCH_net_serve.json`` record via
+:func:`loadgen_record` for ``python -m repro report`` diffing.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import NetError, ReproError
+from repro.bench.records import make_bench_record
+from repro.net.client import GraphClient
+from repro.net.protocol import RETRYABLE_CODES
+from repro.workloads.rmat import rmat_edges
+
+#: Per-worker op mix defaults: 90:10 read:write is the acceptance mix.
+#: Mutations are OLTP-sized transactions (16 edges per ticketed batch):
+#: small enough that the micro-batch flush — whose store-apply cost is
+#: per-edge — stays short, which is what keeps the closed loop's write
+#: stalls (and therefore the whole mix's latency) bounded.
+DEFAULT_READ_FRACTION = 0.9
+DEFAULT_BATCH_EDGES = 16
+#: Probability split inside the read mix: mostly point lookups, some
+#: 2-hop expansions to exercise the traversal path.
+READ_OP_WEIGHTS = (("degree", 0.55), ("neighbors", 0.35), ("khop", 0.10))
+
+
+class LoadStats:
+    """Aggregated outcome of one load-generation run."""
+
+    def __init__(self):
+        self.read_latency_ms: list[float] = []
+        self.write_latency_ms: list[float] = []
+        self.n_reads = 0
+        self.n_writes = 0
+        self.n_edges_written = 0
+        self.errors: dict[str, int] = {}
+        self.n_retries = 0
+        self.generation_regressions = 0
+        self.wall_s = 0.0
+
+    def merge(self, other: "LoadStats") -> None:
+        self.read_latency_ms.extend(other.read_latency_ms)
+        self.write_latency_ms.extend(other.write_latency_ms)
+        self.n_reads += other.n_reads
+        self.n_writes += other.n_writes
+        self.n_edges_written += other.n_edges_written
+        for code, count in other.errors.items():
+            self.errors[code] = self.errors.get(code, 0) + count
+        self.n_retries += other.n_retries
+        self.generation_regressions += other.generation_regressions
+
+    @property
+    def read_ops_per_s(self) -> float:
+        return self.n_reads / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def write_ops_per_s(self) -> float:
+        return self.n_writes / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def total_ops(self) -> int:
+        return self.n_reads + self.n_writes
+
+    def summary(self) -> dict:
+        def _q(values: list[float], q: float) -> float:
+            return float(np.quantile(values, q)) if values else 0.0
+
+        return {
+            "wall_s": self.wall_s,
+            "n_reads": self.n_reads,
+            "n_writes": self.n_writes,
+            "n_edges_written": self.n_edges_written,
+            "read_ops_per_s": self.read_ops_per_s,
+            "write_ops_per_s": self.write_ops_per_s,
+            "read_p50_ms": _q(self.read_latency_ms, 0.5),
+            "read_p99_ms": _q(self.read_latency_ms, 0.99),
+            "write_p50_ms": _q(self.write_latency_ms, 0.5),
+            "write_p99_ms": _q(self.write_latency_ms, 0.99),
+            "errors": dict(self.errors),
+            "n_retries": self.n_retries,
+            "generation_regressions": self.generation_regressions,
+        }
+
+
+class _Worker(threading.Thread):
+    def __init__(self, worker_id: int, host: str, port: int, *,
+                 read_fraction: float, scale: int, batches: np.ndarray,
+                 seed: int, stop_at: float, retries: int,
+                 khop_limit: int, timeout: float):
+        super().__init__(name=f"loadgen-{worker_id}", daemon=True)
+        self.client = GraphClient(host, port, retries=retries,
+                                  timeout=timeout, rng=random.Random(seed))
+        self.read_fraction = read_fraction
+        self.scale = scale
+        self.batches = batches          # (n_batches, batch, 2) int64
+        self.rng = np.random.default_rng(seed)
+        self.stop_at = stop_at
+        self.khop_limit = khop_limit
+        self.stats = LoadStats()
+        self.fatal: BaseException | None = None
+        self._next_batch = 0
+
+    def _read_op(self) -> None:
+        src = int(self.rng.integers(0, 2 ** self.scale))
+        draw = float(self.rng.random())
+        start = time.perf_counter()
+        if draw < READ_OP_WEIGHTS[0][1]:
+            self.client.degree(src)
+        elif draw < READ_OP_WEIGHTS[0][1] + READ_OP_WEIGHTS[1][1]:
+            self.client.neighbors(src)
+        else:
+            self.client.khop(src, 2, limit=self.khop_limit)
+        self.stats.read_latency_ms.append(
+            (time.perf_counter() - start) * 1e3)
+        self.stats.n_reads += 1
+
+    def _write_op(self) -> None:
+        batch = self.batches[self._next_batch % self.batches.shape[0]]
+        self._next_batch += 1
+        start = time.perf_counter()
+        self.client.insert_edges(batch.tolist())
+        self.stats.write_latency_ms.append(
+            (time.perf_counter() - start) * 1e3)
+        self.stats.n_writes += 1
+        self.stats.n_edges_written += batch.shape[0]
+
+    def run(self) -> None:
+        last_generation = -1
+        try:
+            self.client.connect()
+            while time.monotonic() < self.stop_at:
+                try:
+                    if float(self.rng.random()) < self.read_fraction:
+                        self._read_op()
+                    else:
+                        self._write_op()
+                except ReproError as exc:
+                    code = getattr(exc, "code", None)
+                    if isinstance(exc, NetError) and code is None:
+                        raise  # transport failure: connection is gone
+                    key = code or type(exc).__name__
+                    self.stats.errors[key] = self.stats.errors.get(key, 0) + 1
+                    if code in RETRYABLE_CODES:
+                        time.sleep(0.005)
+                gen = self.client.last_generation
+                if gen is not None:
+                    if gen < last_generation:
+                        self.stats.generation_regressions += 1
+                    last_generation = gen
+        except BaseException as exc:  # noqa: BLE001 - reported by run()
+            self.fatal = exc
+        finally:
+            self.stats.n_retries = self.client.n_retries
+            self.client.close()
+
+
+def run_loadgen(host: str, port: int, *,
+                clients: int = 4,
+                duration: float = 5.0,
+                read_fraction: float = DEFAULT_READ_FRACTION,
+                scale: int = 14,
+                batch_edges: int = DEFAULT_BATCH_EDGES,
+                batches_per_worker: int = 64,
+                seed: int = 0,
+                retries: int = 3,
+                khop_limit: int = 128,
+                timeout: float = 30.0,
+                raise_on_worker_error: bool = True) -> LoadStats:
+    """Drive a server with ``clients`` closed-loop workers for ``duration`` s.
+
+    Returns the merged :class:`LoadStats`.  A worker that dies on a
+    transport error (server gone) either raises (default) or — with
+    ``raise_on_worker_error=False`` — records the failure in
+    ``stats.errors["WORKER_FATAL"]`` so availability experiments can
+    inspect partial results.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    # Pre-generate each worker's disjoint RMAT mutation stream.
+    total = clients * batches_per_worker * batch_edges
+    edges = rmat_edges(scale, total, seed=seed)
+    per_worker = edges.reshape(clients, batches_per_worker, batch_edges, 2)
+    stop_at = time.monotonic() + duration
+    workers = [
+        _Worker(i, host, port, read_fraction=read_fraction, scale=scale,
+                batches=per_worker[i], seed=seed * 7919 + i,
+                stop_at=stop_at, retries=retries, khop_limit=khop_limit,
+                timeout=timeout)
+        for i in range(clients)
+    ]
+    start = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - start
+    merged = LoadStats()
+    merged.wall_s = wall
+    fatal = None
+    for worker in workers:
+        merged.merge(worker.stats)
+        if worker.fatal is not None:
+            fatal = worker.fatal
+            merged.errors["WORKER_FATAL"] = \
+                merged.errors.get("WORKER_FATAL", 0) + 1
+    if fatal is not None and raise_on_worker_error:
+        raise fatal
+    return merged
+
+
+def loadgen_record(stats: LoadStats, *, clients: int, duration: float,
+                   read_fraction: float, scale: int,
+                   batch_edges: int) -> dict:
+    """Reduce a run to the standard ``net_serve`` bench record."""
+    summary = stats.summary()
+    metrics = {
+        "read_ops_per_s": summary["read_ops_per_s"],
+        "write_ops_per_s": summary["write_ops_per_s"],
+        "read_p50_ms": summary["read_p50_ms"],
+        "read_p99_ms": summary["read_p99_ms"],
+        "write_p50_ms": summary["write_p50_ms"],
+        "write_p99_ms": summary["write_p99_ms"],
+        "n_reads": float(summary["n_reads"]),
+        "n_writes": float(summary["n_writes"]),
+        "edges_per_s": (summary["n_edges_written"] / summary["wall_s"]
+                        if summary["wall_s"] > 0 else 0.0),
+        "n_shed": float(stats.errors.get("SHED", 0)),
+        "n_retries": float(summary["n_retries"]),
+        "generation_regressions": float(summary["generation_regressions"]),
+    }
+    return make_bench_record(
+        "net_serve",
+        config={"clients": clients, "duration_s": duration,
+                "read_fraction": read_fraction, "scale": scale,
+                "batch_edges": batch_edges},
+        wall_s=summary["wall_s"],
+        latency_ms=stats.read_latency_ms or [0.0],
+        metrics=metrics,
+    )

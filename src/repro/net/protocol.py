@@ -1,0 +1,181 @@
+"""Wire protocol: versioning, the op table, and typed error mapping.
+
+One request/response pair per frame (see :mod:`repro.net.frames` for the
+byte layout).  Requests and responses are plain JSON-safe objects::
+
+    request:  {"id": 7, "op": "degree", "args": {"src": 42}}
+    response: {"id": 7, "ok": true, "result": {"degree": 3},
+               "generation": 12}                       # read ops only
+    error:    {"id": 7, "ok": false,
+               "error": {"code": "SHED", "message": "..."}}
+
+The first frame on a connection must be ``hello``; the server answers
+with the negotiated protocol version and codec, and every later frame on
+that connection uses the negotiated codec.  A protocol-version mismatch
+is answered with a ``VERSION`` error frame and the connection is closed.
+
+Error codes are the wire form of the repro exception hierarchy; both
+directions of the mapping live here so the client can re-raise exactly
+the exception the server-side service raised
+(:class:`~repro.errors.ShedError` for a shed read,
+:class:`~repro.errors.BreakerOpenError` for a fast-failed submit, …)
+instead of a stringly-typed remote error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import (
+    BreakerOpenError,
+    NetError,
+    ProtocolError,
+    QueueFullError,
+    ReproError,
+    ServiceError,
+    ShedError,
+    WorkloadError,
+)
+
+#: Protocol version this build speaks.  Bumped on any incompatible
+#: message-shape change; the hello handshake rejects a peer whose
+#: version differs.
+PROTOCOL_VERSION = 1
+
+# --------------------------------------------------------------------- #
+# op table
+# --------------------------------------------------------------------- #
+#: op name -> family.  ``write`` ops feed the service's batching queue
+#: (durable, ticketed), ``read`` ops are served lock-free from the CSR
+#: snapshot view and carry a ``generation``, ``admin`` ops are control
+#: plane (never shed).
+OPS: dict[str, str] = {
+    "hello": "admin",
+    "ping": "admin",
+    "health": "admin",
+    "metrics": "admin",
+    "digest": "admin",
+    "refresh": "admin",
+    "insert_edges": "write",
+    "delete_edges": "write",
+    "degree": "read",
+    "neighbors": "read",
+    "khop": "read",
+    "shortest_path": "read",
+}
+
+# --------------------------------------------------------------------- #
+# error codes <-> exceptions
+# --------------------------------------------------------------------- #
+E_VERSION = "VERSION"
+E_PROTOCOL = "PROTOCOL"
+E_BAD_REQUEST = "BAD_REQUEST"
+E_SHED = "SHED"
+E_BREAKER_OPEN = "BREAKER_OPEN"
+E_QUEUE_FULL = "QUEUE_FULL"
+E_SERVICE = "SERVICE"
+E_INTERNAL = "INTERNAL"
+
+#: code -> exception class raised client-side for a remote error frame.
+CODE_TO_EXCEPTION: dict[str, type[ReproError]] = {
+    E_VERSION: ProtocolError,
+    E_PROTOCOL: ProtocolError,
+    E_BAD_REQUEST: WorkloadError,
+    E_SHED: ShedError,
+    E_BREAKER_OPEN: BreakerOpenError,
+    E_QUEUE_FULL: QueueFullError,
+    E_SERVICE: ServiceError,
+    E_INTERNAL: NetError,
+}
+
+#: Codes a client may transparently retry with backoff: the condition is
+#: declared transient by the service itself.
+RETRYABLE_CODES = frozenset({E_SHED, E_BREAKER_OPEN, E_QUEUE_FULL})
+
+
+def exception_to_code(exc: BaseException) -> str:
+    """Server-side: the wire code for an exception (most specific wins)."""
+    if isinstance(exc, ShedError):
+        return E_SHED
+    if isinstance(exc, BreakerOpenError):
+        return E_BREAKER_OPEN
+    if isinstance(exc, QueueFullError):
+        return E_QUEUE_FULL
+    if isinstance(exc, ProtocolError):
+        return E_PROTOCOL
+    if isinstance(exc, WorkloadError):
+        return E_BAD_REQUEST
+    if isinstance(exc, ServiceError):
+        return E_SERVICE
+    return E_INTERNAL
+
+
+def error_response(request_id, exc_or_code, message: str | None = None) -> dict:
+    """Build one error frame (from an exception, or an explicit code)."""
+    if isinstance(exc_or_code, BaseException):
+        code = exception_to_code(exc_or_code)
+        message = str(exc_or_code)
+    else:
+        code = exc_or_code
+        message = message or code
+    return {"id": request_id, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+def raise_remote_error(error: dict) -> None:
+    """Client-side: re-raise an error frame as its typed exception.
+
+    The wire code rides along as ``exc.code`` so retry policies can
+    consult :data:`RETRYABLE_CODES` without string matching.
+    """
+    code = error.get("code", E_INTERNAL)
+    message = error.get("message", "remote error")
+    exc_cls = CODE_TO_EXCEPTION.get(code, NetError)
+    exc = exc_cls(f"[{code}] {message}")
+    exc.code = code
+    raise exc
+
+
+# --------------------------------------------------------------------- #
+# JSON safety
+# --------------------------------------------------------------------- #
+def json_safe(value):
+    """Recursively convert numpy scalars/arrays so json can encode them."""
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+# --------------------------------------------------------------------- #
+# state digest (differential testing across the wire)
+# --------------------------------------------------------------------- #
+def store_digest(store) -> dict:
+    """Canonical content digest of a store's live edge set.
+
+    Order-independent: the edge arrays are lexsorted by ``(src, dst)``
+    before hashing, so any two stores holding the same logical edges —
+    whatever physical layout or insertion order produced them — digest
+    identically.  This is the equality oracle the wire-vs-in-process
+    differential tests compare.
+    """
+    src, dst, weight = store.edge_arrays()
+    if hasattr(store, "original_ids") and src.size:
+        src = store.original_ids(src)
+    order = np.lexsort((dst, src))
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(src[order], dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(dst[order], dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(weight[order], dtype=np.float64).tobytes())
+    return {"sha256": h.hexdigest(), "n_edges": int(src.shape[0])}

@@ -1,0 +1,596 @@
+"""GraphServer: the asyncio TCP front-end over one GraphService.
+
+One server owns one durable :class:`~repro.service.GraphService` and
+speaks the :mod:`repro.net.protocol` over length-prefixed frames.  The
+connection layer is a raw :class:`asyncio.Protocol` (not streams): every
+``data_received`` chunk runs through the shared
+:class:`~repro.net.frames.FrameDecoder` and *read* requests are
+answered synchronously in that same callback — no per-request task, no
+coroutine scheduling — which is what lets one event loop sustain
+thousands of point reads per second.
+
+* **Mutations** (``insert_edges`` / ``delete_edges``) feed the service's
+  batching/backpressure queue and — by default — wait for the ticket, so
+  a successful response means *durable* (WAL-synced and applied).  They
+  run on a small thread pool; while one is in flight the connection's
+  later frames queue, preserving per-connection response order for
+  pipelined clients.
+* **Reads** (``degree`` / ``neighbors`` / ``khop`` / ``shortest_path``)
+  are served lock-free from the current cached
+  :class:`~repro.net.readpath.ReadView`.  The view refreshes *off-loop*:
+  when a request notices the applied sequence has moved, one executor
+  task re-captures under the store lock and swaps the new view in — a
+  read never waits on ingest, it serves the generation it finds (bounded
+  staleness, explicit via the ``generation`` field on every read
+  response; the ``refresh`` admin op forces a synchronous re-capture
+  when a caller needs read-your-writes).  Overload reuses the service's
+  read shedding: a shed read is a typed ``SHED`` error frame, never a
+  hang.
+* **Admin** (``health`` / ``metrics`` / ``digest`` / ``refresh`` /
+  ``ping``) — health snapshot, Prometheus metrics text, canonical state
+  digest, forced view refresh.
+
+Failure containment: a malformed frame kills only its connection (after
+a best-effort ``PROTOCOL`` error frame); an unexpected per-request
+exception answers ``INTERNAL`` and keeps the connection; client
+disconnects — abrupt or clean — release the connection's resources and
+decrement ``net.active_conns``.  The service itself is never taken down
+by a client.
+
+Telemetry (when :mod:`repro.obs` is enabled): ``net.request_ms``
+quantile sketch, ``net.bytes_in`` / ``net.bytes_out`` / ``net.shed`` /
+``net.requests.<family>`` / ``net.errors`` counters and the
+``net.active_conns`` gauge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+import repro.obs as obs
+from repro.errors import ProtocolError, ReproError, ShedError, WorkloadError
+from repro.net.frames import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    encode_frame,
+)
+from repro.net.protocol import (
+    E_PROTOCOL,
+    E_VERSION,
+    OPS,
+    PROTOCOL_VERSION,
+    error_response,
+    json_safe,
+    store_digest,
+)
+from repro.net.readpath import (
+    DEFAULT_KHOP_LIMIT,
+    DEFAULT_PATH_LIMIT,
+    capture_view_locked,
+)
+from repro.obs import hooks as obs_hooks
+from repro.obs.log import get_logger, kv
+
+log = get_logger("net.server")
+
+#: Default per-mutation durability wait (seconds) before the server
+#: answers a write request with an error instead of holding the frame.
+DEFAULT_WRITE_TIMEOUT = 30.0
+
+
+class GraphServer:
+    """Asyncio TCP server over one :class:`~repro.service.GraphService`.
+
+    The caller owns the service's lifecycle; :meth:`stop` stops serving
+    but does not close the service (the CLI driver closes both, in
+    order: server first, then service).
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0, *,
+                 max_frame: int = DEFAULT_MAX_FRAME,
+                 pool_workers: int = 8,
+                 write_timeout: float = DEFAULT_WRITE_TIMEOUT,
+                 view_refresh_s: float = 0.25,
+                 view_patch_rows: int = 512,
+                 khop_limit: int = DEFAULT_KHOP_LIMIT,
+                 path_limit: int = DEFAULT_PATH_LIMIT):
+        self.service = service
+        self.host = host
+        self.port = port          # rebound to the real port on start()
+        self.max_frame = max_frame
+        self.write_timeout = write_timeout
+        #: Minimum seconds between background view re-captures.  A
+        #: capture re-measures every row the applied batches touched
+        #: while holding the store lock, so its cost scales with write
+        #: volume — throttling it bounds both the capture work and the
+        #: ingest stalls it can cause.  Staleness stays explicit
+        #: (``generation``) and bounded (~refresh interval + capture
+        #: time); 0 means re-capture on every applied-seq change.
+        self.view_refresh_s = view_refresh_s
+        #: per-capture patch budget: each throttled refresh re-measures
+        #: at most this many dirty rows while holding the store lock, so
+        #: a capture can never stall ingest for more than (budget ×
+        #: per-row measure cost) even after a large write burst.  Rows
+        #: over budget stay pending and the server keeps re-capturing
+        #: every refresh interval until the backlog drains; the blocking
+        #: ``refresh`` op ignores the budget (full read-your-writes).
+        self.view_patch_rows = view_patch_rows
+        self.khop_limit = khop_limit
+        self.path_limit = path_limit
+        self._pool = ThreadPoolExecutor(
+            max_workers=pool_workers, thread_name_prefix="graph-server")
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._view = None
+        self._view_ts = 0.0
+        self._refreshing = False
+        self.n_connections = 0      # lifetime accepted
+        self.active_connections = 0
+        # The read path serves from the store's CSR snapshot; make sure
+        # one is attached before the first capture.
+        if service._store.analytics_snapshot is None:
+            service._store.enable_snapshot()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        # First capture is synchronous: the server never serves without
+        # a view (an empty store captures in microseconds).
+        self._view = capture_view_locked(self.service)
+        self._server = await self._loop.create_server(
+            lambda: _GraphConnection(self), self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info(kv("serve-net listening", host=self.host, port=self.port))
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------ #
+    # read view maintenance
+    # ------------------------------------------------------------------ #
+    def current_view(self):
+        """The cached ReadView; kicks an off-loop refresh if it lags.
+
+        Never blocks: callers serve the view they find.  At most one
+        refresh is in flight; when it lands the new view is swapped in
+        on the loop thread, so a later request sees it.
+        """
+        view = self._view
+        if (not self._refreshing
+                and (view.pending
+                     or view.applied_seq != self.service.applied_seq)
+                and time.monotonic() - self._view_ts >= self.view_refresh_s):
+            self._refreshing = True
+            future = self._loop.run_in_executor(
+                self._pool, self._capture_budgeted)
+            future.add_done_callback(self._refresh_done)
+        return view
+
+    def _capture_budgeted(self):
+        return capture_view_locked(self.service,
+                                   max_patch_rows=self.view_patch_rows)
+
+    def _refresh_done(self, future) -> None:
+        self._refreshing = False
+        self._view_ts = time.monotonic()
+        try:
+            self._view = future.result()
+        except Exception as exc:  # noqa: BLE001 - keep serving the old view
+            log.warning(kv("view refresh failed", error=repr(exc)))
+
+    def refresh_view_blocking(self):
+        """Synchronous re-capture (the ``refresh`` op; executor-side)."""
+        view = capture_view_locked(self.service)
+        self._view = view
+        self._view_ts = time.monotonic()
+        return view
+
+
+class _GraphConnection(asyncio.Protocol):
+    """One client connection: frame decode, ordered dispatch, telemetry.
+
+    Requests on a connection are answered strictly in arrival order.
+    Synchronous ops (reads, ping, health, metrics) are answered directly
+    inside ``data_received``; async ops (mutations, digest, refresh)
+    park the connection's queue until their executor future lands, then
+    the queue pumps again — pipelined clients get ordered responses
+    without the server serializing across *connections*.
+    """
+
+    def __init__(self, server: GraphServer):
+        self.server = server
+        self.transport: asyncio.Transport | None = None
+        self.decoder = FrameDecoder(max_frame=server.max_frame)
+        self.codec = "json"
+        self.hello_done = False
+        self.closing = False
+        self._queue: deque = deque()
+        self._busy = False      # an async op's future is in flight
+
+    # ---------------------------- plumbing ---------------------------- #
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+        sock = transport.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - platform-dependent
+                pass
+        server = self.server
+        server.n_connections += 1
+        server.active_connections += 1
+        if obs_hooks.enabled:
+            registry = obs.get_registry()
+            registry.counter("net.connections").inc()
+            registry.gauge("net.active_conns").set(server.active_connections)
+
+    def connection_lost(self, exc) -> None:
+        self.closing = True
+        self._queue.clear()
+        server = self.server
+        server.active_connections -= 1
+        if obs_hooks.enabled:
+            obs.get_registry().gauge("net.active_conns").set(
+                server.active_connections)
+
+    def data_received(self, data: bytes) -> None:
+        if self.closing:
+            return
+        if obs_hooks.enabled:
+            obs.get_registry().counter("net.bytes_in").inc(len(data))
+        try:
+            self.decoder.feed(data)
+            for request in self.decoder.frames():
+                self._queue.append(request)
+        except ProtocolError as exc:
+            # A length-prefixed stream cannot resynchronise after a bad
+            # prefix: answer typed, then drop the connection.
+            self._send(error_response(None, E_PROTOCOL, str(exc)))
+            self._close()
+            return
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._queue and not self._busy and not self.closing:
+            request = self._queue.popleft()
+            self._handle(request)
+
+    def _send(self, response: dict) -> None:
+        if self.transport is None or self.transport.is_closing():
+            return
+        try:
+            # Handlers emit plain-JSON types already; the sanitizing
+            # deep-copy is only needed when one leaks a numpy scalar or
+            # array (encode raises TypeError on those — a cheap probe
+            # next to paying json_safe's recursion on every response).
+            blob = encode_frame(response, self.codec,
+                                max_frame=self.server.max_frame)
+        except TypeError:
+            blob = encode_frame(json_safe(response), self.codec,
+                                max_frame=self.server.max_frame)
+        self.transport.write(blob)
+        if obs_hooks.enabled:
+            obs.get_registry().counter("net.bytes_out").inc(len(blob))
+
+    def _close(self) -> None:
+        self.closing = True
+        if self.transport is not None:
+            self.transport.close()
+
+    # ---------------------------- dispatch ---------------------------- #
+    def _handle(self, request) -> None:
+        if not isinstance(request, dict):
+            self._send(error_response(
+                None, E_PROTOCOL,
+                f"request must be an object, got {type(request).__name__}"))
+            self._close()
+            return
+        request_id = request.get("id")
+        op = request.get("op")
+        start = time.perf_counter()
+        try:
+            family = OPS.get(op)
+            if family is None:
+                raise WorkloadError(f"unknown op {op!r} "
+                                    f"(known: {', '.join(sorted(OPS))})")
+            if op == "hello":
+                self._do_hello(request_id, request)
+                return
+            if not self.hello_done:
+                self._send(error_response(
+                    request_id, E_PROTOCOL,
+                    "first frame must be a hello (protocol negotiation)"))
+                self._close()
+                return
+            args = request.get("args") or {}
+            if not isinstance(args, dict):
+                raise WorkloadError("args must be an object")
+            if family == "write":
+                self._start_async(request_id, self._write_job(op, args))
+            elif family == "read":
+                self._send(self._do_read(request_id, op, args))
+            elif op in ("digest", "refresh"):
+                self._start_async(request_id, self._admin_job(op))
+            else:
+                self._send(self._do_admin(request_id, op))
+        except ReproError as exc:
+            self._count_error(exc)
+            self._send(error_response(request_id, exc))
+        except Exception as exc:  # noqa: BLE001 - request fault wall
+            log.warning(kv("request failed unexpectedly", op=op,
+                           error=repr(exc)))
+            self._count_error(exc)
+            self._send(error_response(request_id, exc))
+        finally:
+            if obs_hooks.enabled:
+                registry = obs.get_registry()
+                registry.counter(
+                    f"net.requests.{OPS.get(op, 'unknown')}").inc()
+                registry.quantile(
+                    "net.request_ms", "server-side request handling (ms)"
+                ).record((time.perf_counter() - start) * 1e3)
+
+    @staticmethod
+    def _count_error(exc: BaseException) -> None:
+        if obs_hooks.enabled:
+            registry = obs.get_registry()
+            registry.counter("net.errors").inc()
+            if isinstance(exc, ShedError):
+                registry.counter("net.shed").inc()
+
+    # ----------------------- async (executor) ops ---------------------- #
+    def _start_async(self, request_id, job) -> None:
+        """Run ``job`` on the pool; park this connection's queue until
+        it lands, then answer and pump."""
+        self._busy = True
+        future = self.server._loop.run_in_executor(self.server._pool, job)
+
+        def done(fut) -> None:
+            self._busy = False
+            if self.closing:
+                return
+            try:
+                self._send({"id": request_id, "ok": True,
+                            "result": fut.result()})
+            except ReproError as exc:
+                self._count_error(exc)
+                self._send(error_response(request_id, exc))
+            except Exception as exc:  # noqa: BLE001 - request fault wall
+                log.warning(kv("async op failed", error=repr(exc)))
+                self._count_error(exc)
+                self._send(error_response(request_id, exc))
+            self._pump()
+
+        future.add_done_callback(done)
+
+    def _write_job(self, op: str, args: dict):
+        edges, weights = _parse_edges(args)
+        wait = bool(args.get("wait", True))
+        server = self.server
+
+        def job() -> dict:
+            service = server.service
+            if op == "insert_edges":
+                ticket = service.submit_insert(edges, weights)
+            else:
+                ticket = service.submit_delete(edges)
+            if not wait:
+                return {"queued": True, "n_edges": int(edges.shape[0])}
+            seq = ticket.wait(server.write_timeout)
+            return {"seq": int(seq), "n_edges": int(edges.shape[0])}
+
+        return job
+
+    def _admin_job(self, op: str):
+        server = self.server
+
+        def job() -> dict:
+            if op == "refresh":
+                view = server.refresh_view_blocking()
+                return {"generation": view.generation,
+                        "applied_seq": view.applied_seq}
+            service = server.service
+            with service._store_lock:
+                digest = store_digest(service._store)
+            digest["applied_seq"] = service.applied_seq
+            snap = service._store.analytics_snapshot
+            digest["generation"] = (snap.generation
+                                    if snap is not None else None)
+            return digest
+
+        return job
+
+    # --------------------------- sync ops ------------------------------ #
+    def _do_hello(self, request_id, request) -> None:
+        args = request.get("args") or {}
+        proto = args.get("proto")
+        if proto != PROTOCOL_VERSION:
+            # Answer typed on the wire, then drop the connection.
+            self._send(error_response(
+                request_id, E_VERSION,
+                f"protocol version {proto!r} not supported "
+                f"(server speaks {PROTOCOL_VERSION})"))
+            self._close()
+            return
+        from repro.net.frames import supported_codecs
+
+        ours = supported_codecs()
+        theirs = args.get("codecs") or ["json"]
+        codec = "msgpack" if ("msgpack" in ours and "msgpack" in theirs) \
+            else "json"
+        self.codec = codec
+        self.hello_done = True
+        from repro import __version__
+
+        self._send({"id": request_id, "ok": True,
+                    "result": {"proto": PROTOCOL_VERSION, "codec": codec,
+                               "server": f"repro/{__version__}"}})
+
+    def _do_read(self, request_id, op: str, args: dict) -> dict:
+        server = self.server
+        server.service._shed_check()
+        view = server.current_view()
+        if op == "degree":
+            result = {"degree": view.degree(_int_arg(args, "src"))}
+        elif op == "neighbors":
+            dst, weight = view.neighbors(_int_arg(args, "src"))
+            result = {"dst": dst.tolist(), "weight": weight.tolist()}
+        elif op == "khop":
+            limit = int(args.get("limit") or server.khop_limit)
+            vertices, truncated = view.khop(
+                _int_arg(args, "src"), _int_arg(args, "k"),
+                min(limit, server.khop_limit))
+            result = {"vertices": vertices, "truncated": truncated}
+        else:  # shortest_path (the op table routed us here)
+            limit = int(args.get("limit") or server.path_limit)
+            result = view.shortest_path(
+                _int_arg(args, "src"), _int_arg(args, "dst"),
+                weighted=bool(args.get("weighted", True)),
+                limit=min(limit, server.path_limit))
+        return {"id": request_id, "ok": True, "result": result,
+                "generation": view.generation}
+
+    def _do_admin(self, request_id, op: str) -> dict:
+        server = self.server
+        if op == "ping":
+            return {"id": request_id, "ok": True, "result": {"pong": True}}
+        if op == "health":
+            health = server.service.health()
+            health["net"] = {
+                "active_conns": server.active_connections,
+                "n_connections": server.n_connections,
+                "view_generation": server._view.generation,
+                "view_applied_seq": server._view.applied_seq,
+            }
+            return {"id": request_id, "ok": True, "result": health}
+        if op == "metrics":
+            text = obs.registry_to_prometheus(obs.get_registry())
+            return {"id": request_id, "ok": True,
+                    "result": {"prometheus": text,
+                               "obs_enabled": obs_hooks.enabled}}
+        raise WorkloadError(f"unhandled admin op {op!r}")
+
+
+def _parse_edges(args) -> tuple[np.ndarray, np.ndarray | None]:
+    edges = args.get("edges")
+    if edges is None:
+        raise WorkloadError("missing 'edges' argument")
+    try:
+        arr = np.asarray(edges, dtype=np.int64)
+    except (TypeError, ValueError) as exc:
+        raise WorkloadError(f"edges not convertible to int64: {exc}") from exc
+    if arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise WorkloadError(
+            f"edges must be an (n, 2) array, got shape {arr.shape}")
+    weights = args.get("weights")
+    if weights is not None:
+        try:
+            weights = np.asarray(weights, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise WorkloadError(
+                f"weights not convertible to float64: {exc}") from exc
+        if weights.shape[0] != arr.shape[0]:
+            raise WorkloadError("weights length must match edge count")
+    return arr, weights
+
+
+def _int_arg(args: dict, name: str) -> int:
+    value = args.get(name)
+    if value is None or isinstance(value, bool) or not isinstance(
+            value, (int, np.integer)):
+        raise WorkloadError(f"missing or non-integer argument {name!r}")
+    return int(value)
+
+
+# --------------------------------------------------------------------- #
+# thread-hosted server (tests, CLI, embedding)
+# --------------------------------------------------------------------- #
+class ServerThread:
+    """Run a :class:`GraphServer` on its own event loop in a thread.
+
+    The constructor arguments mirror :class:`GraphServer`.  ``start()``
+    blocks until the port is bound (so ``.port`` is usable immediately);
+    ``stop()`` shuts the server down and joins the thread.  The service
+    is *not* closed — same ownership rule as :class:`GraphServer`.
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
+                 **server_kwargs):
+        self.server = GraphServer(service, host, port, **server_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run,
+                                        name="graph-server-loop", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("server thread failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.stop())
+            pending = asyncio.all_tasks(self._loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            self._loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

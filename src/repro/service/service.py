@@ -41,7 +41,12 @@ import numpy as np
 import repro.obs as obs
 from repro.core.config import GTConfig
 from repro.core.graphtinker import GraphTinker
-from repro.errors import ServiceError
+from repro.errors import (
+    BreakerOpenError,
+    QueueFullError,
+    ServiceError,
+    ShedError,
+)
 from repro.obs import hooks as obs_hooks
 from repro.obs.recorder import blackbox_path, get_recorder
 from repro.obs.timeseries import MetricsSampler, TimeSeriesRing
@@ -208,6 +213,7 @@ class GraphService:
         self._flushing = False
         self._force_flush = False
         self._stop = False
+        self._closed = False
         self._fatal: BaseException | None = None
         self.n_flushes = 0
         self._thread = threading.Thread(target=self._flusher_loop,
@@ -297,17 +303,41 @@ class GraphService:
             return self._cum_edges
 
     def close(self, checkpoint: bool = False) -> None:
-        """Flush the queue, stop the flusher, close the WAL.
+        """Flush the queue, stop the flusher, sync + close the WAL.
+
+        Shutdown ordering is load-bearing and explicit:
+
+        1. stop accepting new submissions (``_stop``; in-flight queued
+           batches stay queued),
+        2. the flusher drains every queued micro-batch — each one is
+           WAL-appended, applied, and its tickets resolved,
+        3. the drained log is **fsynced** (even under the ``"batch"`` /
+           ``"never"`` policies, whose steady-state flushes defer or skip
+           fsync) *before* any finalization touches the directory — a
+           ticket that resolved durable must survive a crash immediately
+           after ``close()`` returns, whatever the fsync policy was,
+        4. only then the optional final checkpoint (which prunes the log)
+           and the WAL close run.
 
         ``checkpoint=True`` additionally snapshots the final state (which
-        prunes the WAL down to nothing worth replaying).
+        prunes the WAL down to nothing worth replaying).  Idempotent:
+        later calls return immediately (a ``checkpoint=True`` on a second
+        call is ignored — the service already finalized).
         """
-        if self._sampler is not None:
-            self._sampler.stop()
         with self._cond:
+            if self._closed:
+                return
+            self._closed = True
             self._stop = True
             self._cond.notify_all()
+        if self._sampler is not None:
+            self._sampler.stop()
         self._thread.join()
+        if self._fatal is None:
+            # Step 3: the drain's durability point.  The per-flush path
+            # honored sync_policy; the close path must not leave resolved
+            # tickets hostage to the page cache.
+            self._wal_op(self._wal.sync)
         if checkpoint and self._fatal is None:
             self.checkpoint()
         self._wal.close()
@@ -353,7 +383,7 @@ class GraphService:
                     if obs_hooks.enabled:
                         obs.get_registry().counter(
                             "service.queue.rejected").inc()
-                    raise ServiceError(
+                    raise QueueFullError(
                         f"queue full ({self.queue_limit} pending batches) "
                         f"for {timeout}s — backpressure timeout; slow down "
                         f"or raise queue_limit/batch_edges"
@@ -398,7 +428,7 @@ class GraphService:
             return
         if obs_hooks.enabled:
             obs.get_registry().counter("service.breaker.fast_fail").inc()
-        raise ServiceError(
+        raise BreakerOpenError(
             f"circuit breaker open after {self._breaker_failures} "
             f"consecutive flush failures; retry in "
             f"{self.breaker_reset - elapsed:.2f}s"
@@ -422,7 +452,7 @@ class GraphService:
                     f"service stopped after flush failure: {self._fatal}"
                 ) from self._fatal
             if self._breaker_state == "open":
-                raise ServiceError(
+                raise BreakerOpenError(
                     f"circuit breaker open after {self._breaker_failures} "
                     f"consecutive flush failures; queued work was rejected")
 
@@ -524,7 +554,7 @@ class GraphService:
                 self._breaker_opened_at = time.monotonic()
                 # Everything still queued would hit the same wall; fail
                 # it fast rather than letting tickets hang.
-                error = ServiceError(
+                error = BreakerOpenError(
                     f"circuit breaker opened after "
                     f"{self._breaker_failures} consecutive flush "
                     f"failures (last: {exc})")
@@ -739,6 +769,14 @@ class GraphService:
                                    and len(self._queue) >= self.shed_reads_at),
             }
         snapshot["last_checkpoint_age_s"] = self._checkpoint_age_s()
+        # Staleness observability for the snapshot-serving read path:
+        # which view version readers are being served, and how many rows
+        # the next sync would have to re-measure to catch up.
+        snap = self._store.analytics_snapshot
+        snapshot["snapshot_generation"] = (
+            snap.generation if snap is not None else None)
+        snapshot["snapshot_pending_rows"] = (
+            snap.pending_rows if snap is not None else None)
         snapshot["last_event"] = get_recorder().last_event()
         if self._sampler is not None:
             snapshot["timeseries"] = self._sampler.ring.summary()
@@ -767,7 +805,7 @@ class GraphService:
                 obs.get_registry().counter("service.shed.reads").inc()
                 get_recorder().record("shed.reads", queue_depth=depth,
                                       shed_reads_at=self.shed_reads_at)
-            raise ServiceError(
+            raise ShedError(
                 f"shedding reads: queue depth {depth} >= shed_reads_at "
                 f"{self.shed_reads_at} — ingest is saturated"
             )

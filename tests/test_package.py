@@ -60,6 +60,14 @@ PUBLIC_MODULES = [
     "repro.service.recovery",
     "repro.service.service",
     "repro.service.faults",
+    "repro.net",
+    "repro.net.frames",
+    "repro.net.protocol",
+    "repro.net.readpath",
+    "repro.net.server",
+    "repro.net.client",
+    "repro.net.aioclient",
+    "repro.net.loadgen",
     "repro.cli",
     "repro.errors",
 ]
@@ -83,7 +91,7 @@ class TestExports:
         assert found <= {
             "repro.core", "repro.stinger", "repro.engine", "repro.workloads",
             "repro.bench", "repro.baselines", "repro.obs", "repro.service",
-            "repro.cli", "repro.errors", "repro.__main__",
+            "repro.net", "repro.cli", "repro.errors", "repro.__main__",
         }, found
 
 
