@@ -175,8 +175,16 @@ def list_bench_records(directory: str | Path) -> list[Path]:
 #: latency-like metric where larger is worse.
 _HIGHER_IS_BETTER = ("throughput", "edges_per_s", "speedup", "hit_rate")
 
+#: Metrics that are unambiguously lower-is-better even when their name
+#: also matches a higher-is-better tag (e.g. ``staleness_lag_edges_per_s``
+#: would substring-match ``edges_per_s``): replication lag, staleness,
+#: and per-error-code counts.  Checked first.
+_LOWER_IS_BETTER = ("lag", "staleness", "err_")
+
 
 def _higher_is_better(metric: str) -> bool:
+    if any(tag in metric for tag in _LOWER_IS_BETTER):
+        return False
     return any(tag in metric for tag in _HIGHER_IS_BETTER)
 
 

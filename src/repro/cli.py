@@ -28,9 +28,13 @@ Gives shell access to the library's main workflows without writing code:
   :class:`~repro.net.server.GraphServer` speaking the length-prefixed
   frame protocol (docs/network.md), mutations ticketed through the WAL,
   reads served lock-free from the CSR snapshot.
+* ``serve-replica`` — host a WAL-shipping read replica of a running
+  ``serve-net``: pulls the writer's WAL over the wire, applies it to a
+  local durable copy, and serves the read ops with staleness metadata.
 * ``loadgen`` — drive a running ``serve-net`` with closed-loop client
   workers at a configurable read:write mix; prints the sustained op
-  rates and writes a ``BENCH_net_serve.json`` record.
+  rates and writes a ``BENCH_net_serve.json`` record.  ``--replicas``
+  routes reads over replicas with automatic failover.
 * ``report`` — diff two standardized ``BENCH_*.json`` records
   (``--baseline`` vs ``--current``); exits 1 on a perf regression.
 * ``blackbox`` — read a flight-recorder post-mortem dump (or list the
@@ -450,6 +454,81 @@ def cmd_serve_net(args) -> int:
     return 0
 
 
+def cmd_serve_replica(args) -> int:
+    """Host a WAL-shipping read replica of a running ``serve-net``.
+
+    The replica owns its own service directory (WAL + checkpoints), so
+    ``kill -9`` + restart recovers locally and resumes the stream from
+    its last applied cursor.  Reads are served with honest staleness
+    metadata; mutations are refused with ``NOT_WRITER``.
+    """
+    import tempfile
+    import time as _time
+
+    from repro.net.replication import ReplicaServer
+
+    sys.setswitchinterval(0.001)  # same GIL-convoy mitigation as serve-net
+    if args.obs:
+        obs.enable()
+    if not args.upstream_port and not args.upstream_port_file:
+        raise WorkloadError("need --upstream-port or --upstream-port-file")
+    if args.data_dir is None:
+        data_dir = Path(tempfile.mkdtemp(prefix="repro-replica-"))
+        print(f"replica state in ephemeral {data_dir}")
+    else:
+        data_dir = Path(args.data_dir)
+    rep = ReplicaServer(
+        data_dir, args.upstream_host, args.upstream_port,
+        upstream_port_file=args.upstream_port_file,
+        host=args.host, port=args.port,
+        replica_id=args.replica_id,
+        max_lag_seq=args.max_lag_seq,
+        checkpoint_every=args.checkpoint_every,
+        poll_wait_s=args.poll_wait,
+        max_records=args.max_records,
+        digest_check=not args.no_digest_check,
+    )
+    try:
+        rep.start()
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        rep.service.close(checkpoint=False)
+        return 1
+    if args.port_file:
+        Path(args.port_file).write_text(f"{rep.port}\n")
+    print(f"replica {rep.link.replica_id} listening on "
+          f"{args.host}:{rep.port} (data dir {data_dir}, "
+          f"applied seq {rep.service.applied_seq})", flush=True)
+    deadline = (_time.monotonic() + args.duration) if args.duration else None
+    try:
+        while deadline is None or _time.monotonic() < deadline:
+            _time.sleep(0.2)
+            if rep.service.fatal_error is not None:
+                print(f"replica failed: {rep.service.fatal_error}",
+                      file=sys.stderr)
+                return 1
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        rep.stop()
+    repl = rep.service.health()["replication"]
+    print(f"replica stopped at seq {rep.service.applied_seq} "
+          f"(lag {repl['lag_seq']}, resyncs {repl['n_resyncs']}, "
+          f"resubscribes {repl['n_resubscribes']})")
+    return 0
+
+
+def _parse_endpoints(specs: list[str]) -> list[tuple[str, int]]:
+    """``host:port`` strings -> ``(host, port)`` pairs."""
+    out = []
+    for spec in specs:
+        host, sep, port = spec.rpartition(":")
+        if not sep or not port.isdigit():
+            raise WorkloadError(f"bad endpoint {spec!r} (expected host:port)")
+        out.append((host or "127.0.0.1", int(port)))
+    return out
+
+
 def cmd_loadgen(args) -> int:
     """Closed-loop load generator against a running ``serve-net``."""
     from repro.bench.records import write_bench_record
@@ -465,6 +544,7 @@ def cmd_loadgen(args) -> int:
         port = int(Path(args.port_file).read_text().strip())
     if not port:
         raise WorkloadError("need --port or --port-file")
+    replicas = _parse_endpoints(args.replicas) if args.replicas else None
     stats = run_loadgen(
         args.host, port,
         clients=args.clients,
@@ -476,6 +556,8 @@ def cmd_loadgen(args) -> int:
         seed=args.seed,
         retries=args.retries,
         timeout=args.timeout,
+        port_file=args.port_file,
+        replicas=replicas,
     )
     summary = stats.summary()
     table = Table("loadgen", ["metric", "value"])
@@ -490,6 +572,12 @@ def cmd_loadgen(args) -> int:
                    f"{summary['write_p99_ms']:.2f}"])
     table.add_row(["edges written", str(summary['n_edges_written'])])
     table.add_row(["transient retries", str(summary['n_retries'])])
+    if replicas:
+        table.add_row(["staleness p50/p99 lag",
+                       f"{summary['staleness_p50_lag']:.0f} / "
+                       f"{summary['staleness_p99_lag']:.0f} seqs"])
+        table.add_row(["failovers", str(summary['n_failovers'])])
+        table.add_row(["stale rejects", str(summary['n_stale_rejects'])])
     table.add_row(["typed errors", str(summary['errors'] or "none")])
     table.add_row(["generation regressions",
                    str(summary['generation_regressions'])])
@@ -605,8 +693,21 @@ def _render_top_frame(service, ring) -> str:
         f"applied seq {health['applied_seq']}  "
         f"flushes {health['n_flushes']}  breaker {breaker}  "
         f"{'OK' if health['ok'] else 'NOT OK'}",
-        "",
     ]
+    repl = health.get("replication")
+    if repl is not None:
+        if repl.get("role") == "replica":
+            lines.append(
+                f"replication replica  lag {repl['lag_seq']} seqs / "
+                f"{repl['lag_edges']} edges  "
+                f"upstream {'up' if repl.get('connected') else 'DOWN'}  "
+                f"resyncs {repl['n_resyncs']}  "
+                f"resubscribes {repl['n_resubscribes']}")
+        else:
+            lines.append(
+                f"replication writer  seq {repl['writer_seq']}  "
+                f"replicas {repl['n_replicas']}")
+    lines.append("")
     for name in ring.names():
         _, values = ring.series(name)
         if values.size == 0:
@@ -932,6 +1033,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable telemetry (net.* metrics, health detail)")
     p.set_defaults(func=cmd_serve_net)
 
+    p = sub.add_parser("serve-replica", parents=[common],
+                       help="host a WAL-shipping read replica of a running "
+                            "serve-net (docs/network.md)")
+    p.add_argument("--data-dir", default=None,
+                   help="replica directory (default: fresh temp dir)")
+    p.add_argument("--upstream-host", default="127.0.0.1")
+    p.add_argument("--upstream-port", type=int, default=0,
+                   help="writer port (or use --upstream-port-file)")
+    p.add_argument("--upstream-port-file", default=None, metavar="PATH",
+                   help="read the writer port from this file (re-read on "
+                        "every reconnect, so a restarted writer is found)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="replica TCP port (0 = ephemeral)")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="write the bound port here once listening")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="serve for this many seconds (0 = forever)")
+    p.add_argument("--replica-id", default=None,
+                   help="stable replica identity (default: random)")
+    p.add_argument("--max-lag-seq", type=int, default=0, metavar="N",
+                   help="shed reads with STALE when the replica is more "
+                        "than N WAL records behind (0 = never shed)")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="local checkpoint every N applied records")
+    p.add_argument("--poll-wait", type=float, default=1.0,
+                   help="wal_batch long-poll wait in seconds")
+    p.add_argument("--max-records", type=int, default=512,
+                   help="max WAL records pulled per batch")
+    p.add_argument("--no-digest-check", action="store_true",
+                   help="skip the post-catch-up digest cross-check")
+    p.add_argument("--obs", action="store_true",
+                   help="enable telemetry (repl.* metrics, health detail)")
+    p.set_defaults(func=cmd_serve_replica)
+
     p = sub.add_parser("loadgen", parents=[common],
                        help="drive a running serve-net with closed-loop "
                             "client workers")
@@ -956,6 +1092,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="transient-error retries per request")
     p.add_argument("--timeout", type=float, default=30.0,
                    help="per-request client timeout in seconds")
+    p.add_argument("--replicas", action="append", default=None,
+                   metavar="HOST:PORT",
+                   help="route reads over these replicas with failover "
+                        "(repeatable); writes still go to --host/--port")
     p.add_argument("--record-dir", default=None, metavar="DIR",
                    help="directory for BENCH_net_serve.json")
     p.add_argument("--no-record", action="store_true",

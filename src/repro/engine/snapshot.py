@@ -174,6 +174,17 @@ class AnalyticsSnapshot:
         self._flat_ok = False
         self._xlat_count = -1
 
+    def rebase_generation(self, floor: int) -> None:
+        """Force the generation strictly above ``floor``.
+
+        A replica resync replaces the whole store — and with it this
+        snapshot — but clients assert generation monotonicity per
+        connection, so the replacement snapshot must not restart the
+        count below what readers already observed.
+        """
+        if int(floor) >= self.generation:
+            self.generation = int(floor) + 1
+
     @property
     def pending_rows(self) -> int:
         """Rows the next sync will re-measure (observable staleness)."""

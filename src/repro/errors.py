@@ -76,6 +76,48 @@ class QueueFullError(ServiceError):
     """Backpressure timeout: the bounded ingest queue stayed full."""
 
 
+class StaleReadError(ServiceError):
+    """A replica shed a read because its replication lag exceeds the SLO.
+
+    Transient by construction, like :class:`ShedError`: the replica
+    refused to serve an answer staler than its configured bound instead
+    of lying about freshness.  Clients should retry elsewhere (another
+    replica, or the writer) — the :class:`~repro.net.client.ReplicaSet`
+    router does exactly that.
+    """
+
+
+class NotWriterError(ServiceError):
+    """A mutation was sent to a read replica.
+
+    Replicas apply mutations only from their upstream WAL stream; a
+    client-side router (``ReplicaSet``) sends writes to the writer and
+    never sees this.  Not retryable against the *same* node — the
+    correct response is rerouting, not backoff.
+    """
+
+
+class ReplicationError(ServiceError):
+    """The WAL-shipping replication stream hit an unrecoverable state.
+
+    Raised for upstream/replica cursor divergence (sequence or
+    cumulative-edge mismatch on an applied record) and digest
+    cross-check failures after catch-up.  The replica's recovery action
+    is a full resync from the writer's live state.
+    """
+
+
+class CursorGapError(ReplicationError):
+    """A subscription cursor points below the writer's retained WAL.
+
+    Checkpoints prune WAL segments; a replica that was down long enough
+    can come back with a cursor older than the oldest surviving segment
+    (or, after a writer-side reset, *ahead* of the writer's log).  The
+    missing records cannot be streamed — the subscriber must take the
+    full-resync path instead.
+    """
+
+
 class NetError(ReproError):
     """A network-layer failure talking to (or serving) a graph service.
 

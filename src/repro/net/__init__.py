@@ -15,12 +15,21 @@ into a network service:
   clients with typed remote errors and transient-error retry.
 * :mod:`repro.net.loadgen` — the closed-loop load generator behind
   ``python -m repro loadgen`` and ``BENCH_net_serve.json``.
+* :mod:`repro.net.replication` — WAL-shipping read replicas:
+  :class:`ReplicaService` (applies shipped records, serves reads),
+  :class:`ReplicationLink` (the pull/apply/resync thread) and the
+  composed :class:`ReplicaServer` behind ``python -m repro
+  serve-replica``.
+* :mod:`repro.net.chaos` — :class:`ChaosProxy`, the frame-aware
+  fault-injecting proxy the replication chaos suite runs through.
 
-See docs/network.md for the protocol spec and staleness semantics.
+See docs/network.md for the protocol spec, replication cursor rules and
+staleness semantics.
 """
 
 from repro.net.aioclient import AsyncGraphClient
-from repro.net.client import GraphClient
+from repro.net.chaos import ChaosProxy
+from repro.net.client import GraphClient, ReplicaSet
 from repro.net.frames import (
     DEFAULT_MAX_FRAME,
     FrameDecoder,
@@ -31,17 +40,23 @@ from repro.net.frames import (
 )
 from repro.net.loadgen import LoadStats, loadgen_record, run_loadgen
 from repro.net.protocol import (
+    FAILOVER_CODES,
     OPS,
     PROTOCOL_VERSION,
     RETRYABLE_CODES,
     store_digest,
+    wal_record_from_wire,
+    wal_record_to_wire,
 )
 from repro.net.readpath import ReadView, capture_view, capture_view_locked
+from repro.net.replication import ReplicaServer, ReplicaService, ReplicationLink
 from repro.net.server import GraphServer, ServerThread
 
 __all__ = [
     "AsyncGraphClient",
+    "ChaosProxy",
     "DEFAULT_MAX_FRAME",
+    "FAILOVER_CODES",
     "FrameDecoder",
     "GraphClient",
     "GraphServer",
@@ -51,6 +66,10 @@ __all__ = [
     "PROTOCOL_VERSION",
     "RETRYABLE_CODES",
     "ReadView",
+    "ReplicaServer",
+    "ReplicaService",
+    "ReplicaSet",
+    "ReplicationLink",
     "ServerThread",
     "capture_view",
     "capture_view_locked",
@@ -60,4 +79,6 @@ __all__ = [
     "run_loadgen",
     "store_digest",
     "supported_codecs",
+    "wal_record_from_wire",
+    "wal_record_to_wire",
 ]

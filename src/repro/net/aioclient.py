@@ -27,6 +27,7 @@ from repro.net.frames import (
     supported_codecs,
 )
 from repro.net.protocol import (
+    E_UNAVAILABLE,
     PROTOCOL_VERSION,
     RETRYABLE_CODES,
     json_safe,
@@ -62,6 +63,8 @@ class AsyncGraphClient:
         self._next_id = 0
         self.codec = "json"
         self.last_generation: int | None = None
+        self.last_applied_seq: int | None = None
+        self.last_staleness: dict | None = None
         self.n_retries = 0
 
     # ------------------------------------------------------------------ #
@@ -70,12 +73,25 @@ class AsyncGraphClient:
     async def connect(self) -> "AsyncGraphClient":
         if self._writer is not None:
             return self
-        self._reader, self._writer = await asyncio.wait_for(
-            asyncio.open_connection(self.host, self.port), self.timeout)
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout)
+        except (ConnectionError, asyncio.TimeoutError, OSError) as exc:
+            await self._unavailable(f"connect failed: {exc!r}", exc)
         hello = await self._roundtrip("hello", {
             "proto": PROTOCOL_VERSION, "codecs": supported_codecs()})
         self.codec = hello["codec"]
         return self
+
+    async def _unavailable(self, message: str,
+                           cause: BaseException | None = None):
+        """Close and raise a retryable ``UNAVAILABLE`` transport error
+        (same classification as the sync client)."""
+        await self.close()
+        exc = NetError(
+            f"[{E_UNAVAILABLE}] {self.host}:{self.port}: {message}")
+        exc.code = E_UNAVAILABLE
+        raise exc from cause
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -114,10 +130,9 @@ class AsyncGraphClient:
             await self._writer.drain()
             response = await asyncio.wait_for(self._read_frame(),
                                               self.timeout)
-        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
-            await self.close()
-            raise NetError(f"connection to {self.host}:{self.port} "
-                           f"failed: {exc!r}") from exc
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.TimeoutError, OSError) as exc:
+            await self._unavailable(f"request failed: {exc!r}", exc)
         if not isinstance(response, dict):
             raise ProtocolError(
                 f"response must be an object, got {type(response).__name__}")
@@ -130,6 +145,10 @@ class AsyncGraphClient:
         generation = response.get("generation")
         if generation is not None:
             self.last_generation = generation
+        applied_seq = response.get("applied_seq")
+        if applied_seq is not None:
+            self.last_applied_seq = applied_seq
+            self.last_staleness = response.get("staleness")
         return response.get("result") or {}
 
     async def call(self, op: str, args: dict | None = None) -> dict:

@@ -1,0 +1,326 @@
+"""Deterministic network-fault injection for replication testing.
+
+:class:`ChaosProxy` is a threaded TCP forwarder that sits between a
+client (usually a :class:`~repro.net.replication.ReplicationLink` or a
+:class:`~repro.net.client.GraphClient`) and an upstream
+:class:`~repro.net.server.GraphServer`.  Unlike a byte-level proxy it
+understands the frame protocol (:mod:`repro.net.frames`): it reassembles
+each 8-byte-header frame before forwarding, so faults land on *message*
+boundaries and a given schedule produces the same fault sequence on
+every run regardless of TCP segmentation.
+
+Faults come from two places:
+
+* a **schedule** — a list of ``{"at_frame": N, "action": ...}`` entries
+  handed to the constructor.  The proxy keeps one global counter of
+  frames forwarded (both directions); when the counter reaches
+  ``at_frame`` the entry fires exactly once.  Actions:
+
+  - ``{"action": "cut"}`` — close both sockets of the connection that
+    carried the triggering frame (the frame itself is still delivered).
+    The client sees a reset and must reconnect.
+  - ``{"action": "drop"}`` — silently discard the triggering frame.  In
+    a request/response protocol the peer stalls until its timeout.
+  - ``{"action": "delay", "delay_s": 0.2}`` — hold the triggering frame
+    for ``delay_s`` before forwarding it.
+  - ``{"action": "partition", "duration_s": 1.0}`` — kill every live
+    connection and refuse new ones for ``duration_s``.
+
+* **manual controls** — :meth:`partition` / :meth:`heal` /
+  :meth:`cut_all` for tests that want to script faults around their own
+  assertions instead of frame counts.
+
+The proxy never rewrites payloads; a fault is always "the network was
+bad", never "the data was wrong" — data corruption is the WAL CRC
+layer's department (see ``tests/test_wal.py``).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.net.frames import DEFAULT_MAX_FRAME, HEADER_SIZE, parse_header
+
+__all__ = ["ChaosProxy"]
+
+#: Poll interval for halt/kill checks inside blocking socket reads.
+_POLL_S = 0.1
+
+_ACTIONS = ("cut", "drop", "delay", "partition")
+
+
+class _Pipe:
+    """One proxied connection: a client socket, an upstream socket, and
+    two pump threads moving whole frames between them."""
+
+    def __init__(self, proxy: "ChaosProxy", client: socket.socket,
+                 upstream: socket.socket) -> None:
+        self.proxy = proxy
+        self.client = client
+        self.upstream = upstream
+        self.dead = threading.Event()
+        self.threads = [
+            threading.Thread(target=self._pump, args=(client, upstream),
+                             name="chaos-c2u", daemon=True),
+            threading.Thread(target=self._pump, args=(upstream, client),
+                             name="chaos-u2c", daemon=True),
+        ]
+
+    def start(self) -> None:
+        for thread in self.threads:
+            thread.start()
+
+    def kill(self) -> None:
+        """Close both sockets; pumps notice and exit."""
+        if self.dead.is_set():
+            return
+        self.dead.set()
+        for sock in (self.client, self.upstream):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # ----------------------------------------------------------------- #
+
+    def _read_exact(self, sock: socket.socket, n: int) -> bytes | None:
+        """Read exactly ``n`` bytes or return None on EOF/kill/halt."""
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining > 0:
+            if self.dead.is_set() or self.proxy._halt.is_set():
+                return None
+            try:
+                chunk = sock.recv(min(remaining, 65536))
+            except socket.timeout:
+                continue
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _pump(self, src: socket.socket, dst: socket.socket) -> None:
+        try:
+            src.settimeout(_POLL_S)
+        except OSError:
+            pass
+        try:
+            while not self.dead.is_set() and not self.proxy._halt.is_set():
+                header = self._read_exact(src, HEADER_SIZE)
+                if header is None:
+                    break
+                try:
+                    _, length = parse_header(
+                        header, max_frame=self.proxy.max_frame)
+                except Exception:
+                    break  # unparseable stream: treat as connection death
+                payload = self._read_exact(src, length)
+                if payload is None:
+                    break
+                verdict = self.proxy._on_frame(self)
+                if verdict == "drop":
+                    continue
+                if self.dead.is_set():
+                    break
+                try:
+                    dst.sendall(header + payload)
+                except OSError:
+                    break
+        finally:
+            self.kill()
+            self.proxy._forget(self)
+
+
+class ChaosProxy:
+    """Frame-aware fault-injecting TCP proxy (see module docstring)."""
+
+    def __init__(self, upstream_host: str, upstream_port: int, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 schedule: list[dict] | None = None,
+                 max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = int(upstream_port)
+        self.host = host
+        self.max_frame = max_frame
+        self._lock = threading.Lock()
+        self._halt = threading.Event()
+        self._pipes: set[_Pipe] = set()
+        self._partition_until: float | None = None  # None = not partitioned
+        self._schedule: list[dict] = []
+        for entry in schedule or []:
+            action = entry.get("action")
+            if action not in _ACTIONS:
+                raise ValueError(f"unknown chaos action {action!r} "
+                                 f"(expected one of {_ACTIONS})")
+            at_frame = int(entry.get("at_frame", 0))
+            if at_frame < 1:
+                raise ValueError(f"at_frame must be >= 1, got {at_frame}")
+            self._schedule.append(dict(entry, at_frame=at_frame))
+        self._schedule.sort(key=lambda e: e["at_frame"])
+        # counters (read them for assertions; written under self._lock)
+        self.n_accepted = 0
+        self.n_refused = 0
+        self.n_frames = 0
+        self.n_cut = 0
+        self.n_dropped = 0
+        self.n_delayed = 0
+        self.n_partitions = 0
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, int(port)))
+        self._listener.listen(16)
+        self._listener.settimeout(_POLL_S)
+        self.port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True)
+
+    # ----------------------------------------------------------------- #
+    # lifecycle
+    # ----------------------------------------------------------------- #
+
+    def start(self) -> "ChaosProxy":
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._halt.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.cut_all()
+        if self._accept_thread.is_alive():
+            self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ----------------------------------------------------------------- #
+    # manual fault controls
+    # ----------------------------------------------------------------- #
+
+    def cut_all(self) -> None:
+        """Kill every live proxied connection (new ones still accepted)."""
+        with self._lock:
+            pipes = list(self._pipes)
+        for pipe in pipes:
+            pipe.kill()
+
+    def partition(self, duration_s: float | None = None) -> None:
+        """Kill live connections and refuse new ones.
+
+        With ``duration_s`` the partition heals itself; without, it
+        lasts until :meth:`heal`.
+        """
+        with self._lock:
+            if duration_s is None:
+                self._partition_until = float("inf")
+            else:
+                self._partition_until = time.monotonic() + float(duration_s)
+            self.n_partitions += 1
+        self.cut_all()
+
+    def heal(self) -> None:
+        """End a partition started by :meth:`partition`."""
+        with self._lock:
+            self._partition_until = None
+
+    @property
+    def partitioned(self) -> bool:
+        with self._lock:
+            return self._partitioned_locked()
+
+    def _partitioned_locked(self) -> bool:
+        if self._partition_until is None:
+            return False
+        if time.monotonic() >= self._partition_until:
+            self._partition_until = None
+            return False
+        return True
+
+    # ----------------------------------------------------------------- #
+    # internals
+    # ----------------------------------------------------------------- #
+
+    def _accept_loop(self) -> None:
+        while not self._halt.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                refused = self._partitioned_locked()
+                if refused:
+                    self.n_refused += 1
+            if refused:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                continue
+            try:
+                upstream = socket.create_connection(
+                    (self.upstream_host, self.upstream_port), timeout=5.0)
+            except OSError:
+                with self._lock:
+                    self.n_refused += 1
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                continue
+            pipe = _Pipe(self, client, upstream)
+            with self._lock:
+                self.n_accepted += 1
+                self._pipes.add(pipe)
+            pipe.start()
+
+    def _forget(self, pipe: _Pipe) -> None:
+        with self._lock:
+            self._pipes.discard(pipe)
+
+    def _on_frame(self, pipe: _Pipe) -> str:
+        """Count one forwarded frame; fire due schedule entries.
+
+        Returns ``"drop"`` when the frame must not be forwarded,
+        ``"forward"`` otherwise.  Delays happen inline (in the pump
+        thread) so only the affected connection stalls.
+        """
+        fired: list[dict] = []
+        with self._lock:
+            self.n_frames += 1
+            while self._schedule and self._schedule[0]["at_frame"] <= self.n_frames:
+                fired.append(self._schedule.pop(0))
+        verdict = "forward"
+        for entry in fired:
+            action = entry["action"]
+            if action == "cut":
+                with self._lock:
+                    self.n_cut += 1
+                pipe.kill()
+            elif action == "drop":
+                with self._lock:
+                    self.n_dropped += 1
+                verdict = "drop"
+            elif action == "delay":
+                with self._lock:
+                    self.n_delayed += 1
+                time.sleep(float(entry.get("delay_s", 0.1)))
+            elif action == "partition":
+                self.partition(entry.get("duration_s"))
+        return verdict

@@ -20,6 +20,18 @@ Two throughput affordances on top of that:
   per batch.  The server processes each connection's frames in order, so
   responses come back in request order.
 
+Transport failures — connection refused/reset, a peer that vanished
+mid-frame or mid-handshake — are classified as the synthetic retryable
+code ``UNAVAILABLE`` (the socket is closed first, so a retry
+reconnects).  A client built with ``port_file=`` re-resolves the port
+from that file on every reconnect, which is what lets a long-running
+load generator survive a server restart onto a fresh ephemeral port.
+
+:class:`ReplicaSet` builds failover routing on top: reads rotate across
+replicas and fall back to the writer, writes always go to the writer,
+and acked writes raise a per-set ``applied_seq`` floor that stale
+replicas are checked against (read-your-writes).
+
 Thread safety: one client = one socket = one user thread.  Share nothing
 — open one client per worker (the load generator does exactly that).
 """
@@ -31,6 +43,7 @@ import socket
 import time
 
 from collections import deque
+from pathlib import Path
 
 from repro.errors import NetError, ProtocolError, ReproError
 from repro.net.frames import (
@@ -40,6 +53,8 @@ from repro.net.frames import (
     supported_codecs,
 )
 from repro.net.protocol import (
+    E_UNAVAILABLE,
+    FAILOVER_CODES,
     PROTOCOL_VERSION,
     RETRYABLE_CODES,
     json_safe,
@@ -66,9 +81,14 @@ class GraphClient:
                  backoff: float = DEFAULT_BACKOFF,
                  backoff_cap: float = DEFAULT_BACKOFF_CAP,
                  max_frame: int = DEFAULT_MAX_FRAME,
+                 port_file: str | Path | None = None,
                  rng: random.Random | None = None):
         self.host = host
         self.port = port
+        #: When set, every (re)connect re-reads the port from this file
+        #: — a restarted server publishes its fresh ephemeral port there,
+        #: so clients follow it instead of dying on the stale port.
+        self.port_file = Path(port_file) if port_file is not None else None
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
@@ -83,6 +103,14 @@ class GraphClient:
         #: generation of the last read response — never decreases on one
         #: connection (the server's view version is monotonic).
         self.last_generation: int | None = None
+        #: WAL cursor of the last read response's view.  Unlike
+        #: ``generation`` this is comparable *across* nodes (writer and
+        #: replicas share the writer's sequence space), which is what
+        #: :class:`ReplicaSet` floors read-your-writes on.
+        self.last_applied_seq: int | None = None
+        #: staleness block of the last read answered by a replica
+        #: (``None`` when talking to a writer).
+        self.last_staleness: dict | None = None
         self.n_retries = 0  # lifetime transient retries (introspection)
 
     # ------------------------------------------------------------------ #
@@ -91,10 +119,22 @@ class GraphClient:
     def connect(self) -> "GraphClient":
         if self._sock is not None:
             return self
-        sock = socket.create_connection((self.host, self.port),
-                                        timeout=self.timeout)
+        if self.port_file is not None:
+            try:
+                self.port = int(self.port_file.read_text().strip())
+            except (OSError, ValueError) as exc:
+                self._unavailable(
+                    f"port file {self.port_file} unreadable: {exc}", exc)
+        try:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            self._unavailable(f"connect failed: {exc}", exc)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
+        # The hello handshake itself can hit a peer that accepted the
+        # connection and died (restart race): that is the same
+        # retryable condition as a refused connect, not a protocol bug.
         hello = self._roundtrip("hello", {
             "proto": PROTOCOL_VERSION, "codecs": supported_codecs()})
         self.codec = hello["codec"]
@@ -118,6 +158,15 @@ class GraphClient:
     # ------------------------------------------------------------------ #
     # frame plumbing
     # ------------------------------------------------------------------ #
+    def _unavailable(self, message: str,
+                     cause: BaseException | None = None):
+        """Close and raise a retryable ``UNAVAILABLE`` transport error."""
+        self.close()
+        exc = NetError(
+            f"[{E_UNAVAILABLE}] {self.host}:{self.port}: {message}")
+        exc.code = E_UNAVAILABLE
+        raise exc from cause
+
     def _request_frame(self, op: str, args: dict) -> tuple[int, bytes]:
         self._next_id += 1
         request_id = self._next_id
@@ -139,7 +188,11 @@ class GraphClient:
             if not data:
                 if self._decoder.at_boundary:
                     return None
-                raise ProtocolError("connection closed mid-frame")
+                # The peer died mid-frame (kill, RST after close) — a
+                # transport fault, not a protocol violation by a live
+                # server: retryable, so a reconnect can reach a
+                # restarted peer.
+                self._unavailable("connection closed mid-frame")
             self._decoder.feed(data)
             self._ready.extend(self._decoder.frames())
         return self._ready.popleft()
@@ -147,7 +200,7 @@ class GraphClient:
     def _read_response(self, request_id: int) -> dict:
         response = self._recv_frame()
         if response is None:
-            raise NetError("server closed the connection mid-request")
+            self._unavailable("server closed the connection mid-request")
         if not isinstance(response, dict):
             raise ProtocolError(
                 f"response must be an object, got {type(response).__name__}")
@@ -161,6 +214,10 @@ class GraphClient:
         generation = response.get("generation")
         if generation is not None:
             self.last_generation = generation
+        applied_seq = response.get("applied_seq")
+        if applied_seq is not None:
+            self.last_applied_seq = applied_seq
+            self.last_staleness = response.get("staleness")
         return response
 
     def _roundtrip(self, op: str, args: dict) -> dict:
@@ -171,11 +228,9 @@ class GraphClient:
             self._sock.sendall(frame)
             response = self._read_response(request_id)
         except (ConnectionError, socket.timeout, OSError) as exc:
-            self.close()
             if isinstance(exc, ReproError):
                 raise
-            raise NetError(f"connection to {self.host}:{self.port} "
-                           f"failed: {exc}") from exc
+            self._unavailable(f"request failed: {exc}", exc)
         return response.get("result") or {}
 
     def call(self, op: str, args: dict | None = None) -> dict:
@@ -274,9 +329,195 @@ class GraphClient:
                 results.append(
                     self._read_response(in_flight.pop(0)).get("result"))
         except (ConnectionError, socket.timeout, OSError) as exc:
-            self.close()
             if isinstance(exc, ReproError):
                 raise
-            raise NetError(f"connection to {self.host}:{self.port} "
-                           f"failed mid-pipeline: {exc}") from exc
+            self._unavailable(f"pipeline failed: {exc}", exc)
         return results
+
+
+# --------------------------------------------------------------------- #
+# failover routing
+# --------------------------------------------------------------------- #
+class ReplicaSet:
+    """Failover router over one writer and any number of read replicas.
+
+    * **Writes** always go to the writer; an acked write's ``seq``
+      raises the set's read-your-writes floor.
+    * **Reads** rotate across the replicas and fall back to the writer.
+      A target is skipped (failed over, not failed) on any code in
+      :data:`~repro.net.protocol.FAILOVER_CODES` — shed, stale-over-SLO,
+      breaker, queue-full, unavailable, not-writer — and on an answer
+      whose ``applied_seq`` is below the floor (the router refuses to
+      hand back state older than a write this same set already acked;
+      on the writer it forces a view ``refresh`` instead, which
+      guarantees the floor).  Non-retryable errors raise immediately.
+    * When *every* target refused retryably, the router sleeps a
+      jittered exponential backoff and sweeps again, up to ``retries``
+      rounds — so a briefly-partitioned cluster costs latency, not an
+      error.
+
+    Endpoints are ``(host, port)`` pairs or ``{"host", "port",
+    "port_file"}`` dicts (a ``port_file`` endpoint follows server
+    restarts).  Thread safety matches :class:`GraphClient`: one set per
+    thread.
+    """
+
+    def __init__(self, writer, replicas=(), *,
+                 timeout: float = 30.0,
+                 retries: int = 3,
+                 backoff: float = DEFAULT_BACKOFF,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                 max_frame: int = DEFAULT_MAX_FRAME,
+                 rng: random.Random | None = None):
+        self._rng = rng or random.Random()
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+
+        def build(endpoint) -> GraphClient:
+            if isinstance(endpoint, GraphClient):
+                return endpoint
+            if isinstance(endpoint, dict):
+                return GraphClient(endpoint.get("host", "127.0.0.1"),
+                                   int(endpoint.get("port", 0)),
+                                   port_file=endpoint.get("port_file"),
+                                   timeout=timeout, max_frame=max_frame,
+                                   rng=self._rng)
+            host, port = endpoint
+            return GraphClient(host, int(port), timeout=timeout,
+                               max_frame=max_frame, rng=self._rng)
+
+        self.writer = build(writer)
+        self.replicas = [build(r) for r in replicas]
+        self._rr = 0
+        #: highest WAL seq this set has seen acked — the
+        #: read-your-writes floor every answered read is checked against.
+        self.floor_seq = 0
+        self.n_failovers = 0      # reads answered by a non-first choice
+        self.n_stale_rejects = 0  # answers discarded for a floor breach
+        self.last_generation: int | None = None
+        self.last_staleness: dict | None = None
+
+    # ------------------------------- writes --------------------------- #
+    def write(self, op: str, args: dict) -> dict:
+        """One mutation against the writer, with transport retry."""
+        result = self._call_with_rounds(self.writer, op, args)
+        seq = result.get("seq")
+        if seq is not None:
+            self.floor_seq = max(self.floor_seq, int(seq))
+        return result
+
+    def insert_edges(self, edges, weights=None, *, wait: bool = True) -> dict:
+        args = {"edges": edges, "wait": wait}
+        if weights is not None:
+            args["weights"] = weights
+        return self.write("insert_edges", args)
+
+    def delete_edges(self, edges, *, wait: bool = True) -> dict:
+        return self.write("delete_edges", {"edges": edges, "wait": wait})
+
+    # ------------------------------- reads ---------------------------- #
+    def read(self, op: str, args: dict | None = None) -> dict:
+        """One read, routed across replicas with writer fallback."""
+        args = args or {}
+        last_exc: ReproError | None = None
+        for round_no in range(self.retries + 1):
+            targets = self._read_targets()
+            for rank, client in enumerate(targets):
+                try:
+                    result = self._read_once(client, op, args)
+                except ReproError as exc:
+                    if getattr(exc, "code", None) not in FAILOVER_CODES:
+                        raise
+                    last_exc = exc
+                    continue
+                if result is None:   # floor breach on a replica
+                    continue
+                if rank > 0:
+                    self.n_failovers += 1
+                self.last_generation = client.last_generation
+                self.last_staleness = client.last_staleness
+                return result
+            if round_no < self.retries:
+                delay = min(self.backoff_cap,
+                            self.backoff * (2 ** round_no))
+                time.sleep(delay * (0.5 + self._rng.random()))
+        if last_exc is not None:
+            raise last_exc
+        raise NetError("replica set has no targets")
+
+    def _read_targets(self) -> list[GraphClient]:
+        """Replicas in rotated order, writer always last resort."""
+        if not self.replicas:
+            return [self.writer]
+        self._rr = (self._rr + 1) % len(self.replicas)
+        rotated = self.replicas[self._rr:] + self.replicas[:self._rr]
+        return [*rotated, self.writer]
+
+    def _read_once(self, client: GraphClient, op: str, args: dict):
+        """One read against one target; ``None`` = stale, try the next.
+
+        On the writer a floor breach is fixable (its state *has* the
+        acked writes — only the cached view lags), so force a refresh
+        and re-read instead of giving up.
+        """
+        result = client.call(op, args)
+        applied = client.last_applied_seq
+        if applied is not None and applied < self.floor_seq:
+            self.n_stale_rejects += 1
+            if client is not self.writer:
+                return None
+            client.refresh()
+            result = client.call(op, args)
+        return result
+
+    def degree(self, src: int) -> int:
+        return int(self.read("degree", {"src": int(src)})["degree"])
+
+    def neighbors(self, src: int) -> dict:
+        return self.read("neighbors", {"src": int(src)})
+
+    def khop(self, src: int, k: int, limit: int | None = None) -> dict:
+        args = {"src": int(src), "k": int(k)}
+        if limit is not None:
+            args["limit"] = int(limit)
+        return self.read("khop", args)
+
+    def shortest_path(self, src: int, dst: int, *, weighted: bool = True,
+                      limit: int | None = None) -> dict:
+        args = {"src": int(src), "dst": int(dst), "weighted": weighted}
+        if limit is not None:
+            args["limit"] = int(limit)
+        return self.read("shortest_path", args)
+
+    # ------------------------------- misc ----------------------------- #
+    @property
+    def n_retries(self) -> int:
+        """Lifetime transient retries across every member connection."""
+        return sum(c.n_retries for c in (self.writer, *self.replicas))
+
+    def _call_with_rounds(self, client: GraphClient, op: str,
+                          args: dict) -> dict:
+        last_exc: ReproError | None = None
+        for round_no in range(self.retries + 1):
+            try:
+                return client.call(op, args)
+            except ReproError as exc:
+                if getattr(exc, "code", None) not in RETRYABLE_CODES:
+                    raise
+                last_exc = exc
+                if round_no < self.retries:
+                    delay = min(self.backoff_cap,
+                                self.backoff * (2 ** round_no))
+                    time.sleep(delay * (0.5 + self._rng.random()))
+        raise last_exc
+
+    def close(self) -> None:
+        for client in (self.writer, *self.replicas):
+            client.close()
+
+    def __enter__(self) -> "ReplicaSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -27,9 +27,9 @@ import time
 
 import numpy as np
 
-from repro.errors import NetError, ReproError
+from repro.errors import ReproError
 from repro.bench.records import make_bench_record
-from repro.net.client import GraphClient
+from repro.net.client import GraphClient, ReplicaSet
 from repro.net.protocol import RETRYABLE_CODES
 from repro.workloads.rmat import rmat_edges
 
@@ -44,6 +44,13 @@ DEFAULT_BATCH_EDGES = 16
 #: 2-hop expansions to exercise the traversal path.
 READ_OP_WEIGHTS = (("degree", 0.55), ("neighbors", 0.35), ("khop", 0.10))
 
+#: Consecutive all-targets-unreachable errors before a worker declares
+#: the system dead and goes fatal.  Transport errors are retryable (a
+#: restarted server is reachable again), so a *single* failure must not
+#: kill the run — but a permanently dead server must not let loadgen
+#: spin to a clean exit either.
+FATAL_UNAVAILABLE_STREAK = 10
+
 
 class LoadStats:
     """Aggregated outcome of one load-generation run."""
@@ -57,6 +64,11 @@ class LoadStats:
         self.errors: dict[str, int] = {}
         self.n_retries = 0
         self.generation_regressions = 0
+        #: per-read replica lag samples (WAL records behind the writer);
+        #: empty when reads were answered by the writer itself.
+        self.staleness_lag: list[int] = []
+        self.n_failovers = 0
+        self.n_stale_rejects = 0
         self.wall_s = 0.0
 
     def merge(self, other: "LoadStats") -> None:
@@ -69,6 +81,9 @@ class LoadStats:
             self.errors[code] = self.errors.get(code, 0) + count
         self.n_retries += other.n_retries
         self.generation_regressions += other.generation_regressions
+        self.staleness_lag.extend(other.staleness_lag)
+        self.n_failovers += other.n_failovers
+        self.n_stale_rejects += other.n_stale_rejects
 
     @property
     def read_ops_per_s(self) -> float:
@@ -100,6 +115,11 @@ class LoadStats:
             "errors": dict(self.errors),
             "n_retries": self.n_retries,
             "generation_regressions": self.generation_regressions,
+            "staleness_p50_lag": _q(self.staleness_lag, 0.5),
+            "staleness_p99_lag": _q(self.staleness_lag, 0.99),
+            "n_staleness_samples": len(self.staleness_lag),
+            "n_failovers": self.n_failovers,
+            "n_stale_rejects": self.n_stale_rejects,
         }
 
 
@@ -107,10 +127,21 @@ class _Worker(threading.Thread):
     def __init__(self, worker_id: int, host: str, port: int, *,
                  read_fraction: float, scale: int, batches: np.ndarray,
                  seed: int, stop_at: float, retries: int,
-                 khop_limit: int, timeout: float):
+                 khop_limit: int, timeout: float,
+                 port_file: str | None = None,
+                 replicas: list | None = None):
         super().__init__(name=f"loadgen-{worker_id}", daemon=True)
-        self.client = GraphClient(host, port, retries=retries,
-                                  timeout=timeout, rng=random.Random(seed))
+        if replicas:
+            self.client = ReplicaSet(
+                {"host": host, "port": port, "port_file": port_file},
+                [{"host": h, "port": p} for h, p in replicas],
+                retries=retries, timeout=timeout,
+                rng=random.Random(seed))
+        else:
+            self.client = GraphClient(host, port, retries=retries,
+                                      timeout=timeout, port_file=port_file,
+                                      rng=random.Random(seed))
+        self.routed = replicas is not None and len(replicas) > 0
         self.read_fraction = read_fraction
         self.scale = scale
         self.batches = batches          # (n_batches, batch, 2) int64
@@ -134,6 +165,9 @@ class _Worker(threading.Thread):
         self.stats.read_latency_ms.append(
             (time.perf_counter() - start) * 1e3)
         self.stats.n_reads += 1
+        staleness = self.client.last_staleness
+        if staleness is not None:  # read answered by a replica
+            self.stats.staleness_lag.append(int(staleness.get("lag_seq", 0)))
 
     def _write_op(self) -> None:
         batch = self.batches[self._next_batch % self.batches.shape[0]]
@@ -147,31 +181,49 @@ class _Worker(threading.Thread):
 
     def run(self) -> None:
         last_generation = -1
+        unavailable_streak = 0
         try:
-            self.client.connect()
             while time.monotonic() < self.stop_at:
                 try:
                     if float(self.rng.random()) < self.read_fraction:
                         self._read_op()
                     else:
                         self._write_op()
+                    unavailable_streak = 0
                 except ReproError as exc:
                     code = getattr(exc, "code", None)
-                    if isinstance(exc, NetError) and code is None:
-                        raise  # transport failure: connection is gone
+                    if code is None:
+                        raise  # untyped failure: not a transient condition
+                    if code == "UNAVAILABLE":
+                        # Reconnect-and-retry already happened inside the
+                        # client; a long enough streak means nothing is
+                        # listening anymore (permanent death), which a
+                        # load generator must report, not paper over.
+                        unavailable_streak += 1
+                        if unavailable_streak >= FATAL_UNAVAILABLE_STREAK:
+                            raise
                     key = code or type(exc).__name__
                     self.stats.errors[key] = self.stats.errors.get(key, 0) + 1
                     if code in RETRYABLE_CODES:
                         time.sleep(0.005)
-                gen = self.client.last_generation
-                if gen is not None:
-                    if gen < last_generation:
-                        self.stats.generation_regressions += 1
-                    last_generation = gen
+                if not self.routed:
+                    # Generation is a per-node counter: only comparable
+                    # when every read hits the same server.  The routed
+                    # mode's equivalent invariant (read-your-writes via
+                    # the applied_seq floor) is enforced inside
+                    # ReplicaSet itself.
+                    gen = self.client.last_generation
+                    if gen is not None:
+                        if gen < last_generation:
+                            self.stats.generation_regressions += 1
+                        last_generation = gen
         except BaseException as exc:  # noqa: BLE001 - reported by run()
             self.fatal = exc
         finally:
             self.stats.n_retries = self.client.n_retries
+            if self.routed:
+                self.stats.n_failovers = self.client.n_failovers
+                self.stats.n_stale_rejects = self.client.n_stale_rejects
             self.client.close()
 
 
@@ -186,14 +238,22 @@ def run_loadgen(host: str, port: int, *,
                 retries: int = 3,
                 khop_limit: int = 128,
                 timeout: float = 30.0,
+                port_file: str | None = None,
+                replicas: list | None = None,
                 raise_on_worker_error: bool = True) -> LoadStats:
     """Drive a server with ``clients`` closed-loop workers for ``duration`` s.
 
     Returns the merged :class:`LoadStats`.  A worker that dies on a
-    transport error (server gone) either raises (default) or — with
-    ``raise_on_worker_error=False`` — records the failure in
+    transport error (server permanently gone) either raises (default)
+    or — with ``raise_on_worker_error=False`` — records the failure in
     ``stats.errors["WORKER_FATAL"]`` so availability experiments can
     inspect partial results.
+
+    ``replicas`` (a list of ``(host, port)`` pairs) switches every
+    worker to a :class:`~repro.net.client.ReplicaSet`: reads rotate
+    over the replicas with failover, writes go to ``host:port`` (the
+    writer), and per-read staleness lag is sampled into the stats.
+    ``port_file`` makes the writer endpoint survive a server restart.
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
@@ -206,7 +266,7 @@ def run_loadgen(host: str, port: int, *,
         _Worker(i, host, port, read_fraction=read_fraction, scale=scale,
                 batches=per_worker[i], seed=seed * 7919 + i,
                 stop_at=stop_at, retries=retries, khop_limit=khop_limit,
-                timeout=timeout)
+                timeout=timeout, port_file=port_file, replicas=replicas)
         for i in range(clients)
     ]
     start = time.perf_counter()
@@ -249,6 +309,16 @@ def loadgen_record(stats: LoadStats, *, clients: int, duration: float,
         "n_retries": float(summary["n_retries"]),
         "generation_regressions": float(summary["generation_regressions"]),
     }
+    # Per-error-code tallies: `err_<CODE>` metrics diff as
+    # lower-is-better in `repro report` (records.py direction
+    # heuristic), so an error-rate regression shows up red.
+    for code, count in sorted(stats.errors.items()):
+        metrics[f"err_{code}"] = float(count)
+    if stats.staleness_lag:
+        metrics["staleness_p50_lag"] = summary["staleness_p50_lag"]
+        metrics["staleness_p99_lag"] = summary["staleness_p99_lag"]
+        metrics["n_failovers"] = float(summary["n_failovers"])
+        metrics["n_stale_rejects"] = float(summary["n_stale_rejects"])
     return make_bench_record(
         "net_serve",
         config={"clients": clients, "duration_s": duration,

@@ -30,12 +30,16 @@ import numpy as np
 
 from repro.errors import (
     BreakerOpenError,
+    CursorGapError,
     NetError,
+    NotWriterError,
     ProtocolError,
     QueueFullError,
+    ReplicationError,
     ReproError,
     ServiceError,
     ShedError,
+    StaleReadError,
     WorkloadError,
 )
 
@@ -64,6 +68,16 @@ OPS: dict[str, str] = {
     "neighbors": "read",
     "khop": "read",
     "shortest_path": "read",
+    # Replication plane (docs/network.md "Replication"): a replica
+    # subscribes with its {seq, cum_edges} cursor, pulls WAL record
+    # batches (long-poll), reports its applied cursor back, and falls
+    # back to a full state transfer when its cursor is below the
+    # writer's retained log.  Never shed — replication is how replicas
+    # *stop* being stale.
+    "subscribe": "repl",
+    "wal_batch": "repl",
+    "replica_status": "repl",
+    "resync": "repl",
 }
 
 # --------------------------------------------------------------------- #
@@ -77,6 +91,15 @@ E_BREAKER_OPEN = "BREAKER_OPEN"
 E_QUEUE_FULL = "QUEUE_FULL"
 E_SERVICE = "SERVICE"
 E_INTERNAL = "INTERNAL"
+E_STALE = "STALE"
+E_NOT_WRITER = "NOT_WRITER"
+E_CURSOR_GAP = "CURSOR_GAP"
+E_REPLICATION = "REPLICATION"
+#: Client-side synthetic code for transport failures (connection
+#: refused/reset, peer vanished mid-frame).  Never sent by a server —
+#: attached by the clients so retry/failover policies can treat "the
+#: node is unreachable" uniformly with the typed transient errors.
+E_UNAVAILABLE = "UNAVAILABLE"
 
 #: code -> exception class raised client-side for a remote error frame.
 CODE_TO_EXCEPTION: dict[str, type[ReproError]] = {
@@ -88,11 +111,23 @@ CODE_TO_EXCEPTION: dict[str, type[ReproError]] = {
     E_QUEUE_FULL: QueueFullError,
     E_SERVICE: ServiceError,
     E_INTERNAL: NetError,
+    E_STALE: StaleReadError,
+    E_NOT_WRITER: NotWriterError,
+    E_CURSOR_GAP: CursorGapError,
+    E_REPLICATION: ReplicationError,
+    E_UNAVAILABLE: NetError,
 }
 
 #: Codes a client may transparently retry with backoff: the condition is
-#: declared transient by the service itself.
-RETRYABLE_CODES = frozenset({E_SHED, E_BREAKER_OPEN, E_QUEUE_FULL})
+#: declared transient by the service itself (or, for ``UNAVAILABLE``,
+#: by the transport — reconnecting may reach a restarted server).
+RETRYABLE_CODES = frozenset({E_SHED, E_BREAKER_OPEN, E_QUEUE_FULL,
+                             E_STALE, E_UNAVAILABLE})
+
+#: Codes a replica-routing client fails over on (try the next target)
+#: without treating the whole call as failed.  ``NOT_WRITER`` is not
+#: retryable against the same node but is exactly a rerouting signal.
+FAILOVER_CODES = RETRYABLE_CODES | frozenset({E_NOT_WRITER})
 
 
 def exception_to_code(exc: BaseException) -> str:
@@ -103,6 +138,14 @@ def exception_to_code(exc: BaseException) -> str:
         return E_BREAKER_OPEN
     if isinstance(exc, QueueFullError):
         return E_QUEUE_FULL
+    if isinstance(exc, StaleReadError):
+        return E_STALE
+    if isinstance(exc, NotWriterError):
+        return E_NOT_WRITER
+    if isinstance(exc, CursorGapError):
+        return E_CURSOR_GAP
+    if isinstance(exc, ReplicationError):
+        return E_REPLICATION
     if isinstance(exc, ProtocolError):
         return E_PROTOCOL
     if isinstance(exc, WorkloadError):
@@ -136,6 +179,51 @@ def raise_remote_error(error: dict) -> None:
     exc = exc_cls(f"[{code}] {message}")
     exc.code = code
     raise exc
+
+
+# --------------------------------------------------------------------- #
+# replication record codec
+# --------------------------------------------------------------------- #
+def wal_record_to_wire(record) -> dict:
+    """One :class:`~repro.service.wal.WalRecord` as a JSON-safe object.
+
+    The cursor fields (``seq``, ``cum_edges``) ride along so a replica
+    can verify stream contiguity and cumulative-edge parity record by
+    record instead of trusting the batch envelope.
+    """
+    wire = {
+        "seq": int(record.seq),
+        "op": int(record.op),
+        "edges": np.asarray(record.edges, dtype=np.int64).tolist(),
+        "cum_edges": int(record.cum_edges),
+    }
+    if record.weights is not None:
+        wire["weights"] = np.asarray(record.weights,
+                                     dtype=np.float64).tolist()
+    return wire
+
+
+def wal_record_from_wire(wire: dict):
+    """Inverse of :func:`wal_record_to_wire` (returns a ``WalRecord``)."""
+    from repro.service.wal import WalRecord
+
+    try:
+        edges = np.asarray(wire["edges"], dtype=np.int64)
+        if edges.size == 0:
+            edges = edges.reshape(0, 2)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edges shape {edges.shape}")
+        weights = wire.get("weights")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape[0] != edges.shape[0]:
+                raise ValueError("weights length != edge count")
+        return WalRecord(seq=int(wire["seq"]), op=int(wire["op"]),
+                         edges=edges, weights=weights,
+                         cum_edges=int(wire["cum_edges"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReplicationError(
+            f"malformed WAL record on the wire: {exc}") from exc
 
 
 # --------------------------------------------------------------------- #

@@ -29,6 +29,19 @@ thousands of point reads per second.
 * **Admin** (``health`` / ``metrics`` / ``digest`` / ``refresh`` /
   ``ping``) — health snapshot, Prometheus metrics text, canonical state
   digest, forced view refresh.
+* **Replication** (``subscribe`` / ``wal_batch`` / ``replica_status`` /
+  ``resync``) — the WAL-shipping stream replicas pull from
+  (docs/network.md "Replication").  ``subscribe`` binds a
+  :class:`~repro.service.tail.WalTailer` to the connection at the
+  replica's ``{seq, cum_edges}`` cursor (a pruned cursor is a typed
+  ``CURSOR_GAP``); ``wal_batch`` long-polls it on the executor —
+  parking only *this* connection's queue, which is why replicas use a
+  dedicated replication connection; ``replica_status`` reports the
+  replica's applied cursor into the writer's peer registry (surfaced
+  under ``health()["replication"]``); ``resync`` ships the full edge
+  state captured consistently under the store lock for cursors the
+  retained WAL can no longer serve.  Replication ops are never shed —
+  they are how replicas *stop* being stale.
 
 Failure containment: a malformed frame kills only its connection (after
 a best-effort ``PROTOCOL`` error frame); an unexpected per-request
@@ -55,7 +68,13 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 import repro.obs as obs
-from repro.errors import ProtocolError, ReproError, ShedError, WorkloadError
+from repro.errors import (
+    CursorGapError,
+    ProtocolError,
+    ReproError,
+    ShedError,
+    WorkloadError,
+)
 from repro.net.frames import (
     DEFAULT_MAX_FRAME,
     FrameDecoder,
@@ -69,6 +88,7 @@ from repro.net.protocol import (
     error_response,
     json_safe,
     store_digest,
+    wal_record_to_wire,
 )
 from repro.net.readpath import (
     DEFAULT_KHOP_LIMIT,
@@ -77,12 +97,22 @@ from repro.net.readpath import (
 )
 from repro.obs import hooks as obs_hooks
 from repro.obs.log import get_logger, kv
+from repro.obs.recorder import get_recorder
+from repro.service.tail import DEFAULT_POLL_RECORDS, WalTailer
 
 log = get_logger("net.server")
 
 #: Default per-mutation durability wait (seconds) before the server
 #: answers a write request with an error instead of holding the frame.
 DEFAULT_WRITE_TIMEOUT = 30.0
+
+#: Hard cap on a ``wal_batch`` long-poll (seconds).  Each waiting poll
+#: occupies one executor thread, so the cap bounds how much of the pool
+#: idle subscribers can hold.
+MAX_BATCH_WAIT = 30.0
+
+#: Hard cap on records per ``wal_batch`` response (bounds frame size).
+MAX_BATCH_RECORDS = 4096
 
 
 class GraphServer:
@@ -133,6 +163,12 @@ class GraphServer:
         self._refreshing = False
         self.n_connections = 0      # lifetime accepted
         self.active_connections = 0
+        self._conns: set = set()    # live protocol instances (loop thread)
+        #: replica_id -> last-reported cursor/liveness (the writer-side
+        #: half of the ``health()["replication"]`` block).  Mutated from
+        #: executor threads and the loop thread; every mutation is a
+        #: single dict assignment, so no lock is needed under the GIL.
+        self.replication_peers: dict[str, dict] = {}
         # The read path serves from the store's CSR snapshot; make sure
         # one is attached before the first capture.
         if service._store.analytics_snapshot is None:
@@ -162,6 +198,15 @@ class GraphServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Established connections must die with the server: a client
+        # (or replication link) parked on a long poll would otherwise
+        # block until its own timeout instead of seeing EOF and
+        # reconnecting — an in-process restart has to look like a
+        # process death from the outside.
+        for conn in list(self._conns):
+            conn.closing = True
+            if conn.transport is not None:
+                conn.transport.close()
         self._pool.shutdown(wait=False)
 
     # ------------------------------------------------------------------ #
@@ -204,6 +249,32 @@ class GraphServer:
         self._view_ts = time.monotonic()
         return view
 
+    # ------------------------------------------------------------------ #
+    # replication bookkeeping
+    # ------------------------------------------------------------------ #
+    def replication_health(self) -> dict:
+        """Writer-side ``replication`` health block (peer cursors/lag)."""
+        now = time.time()
+        writer_seq = self.service._wal.last_seq
+        peers = {}
+        for replica_id, info in list(self.replication_peers.items()):
+            applied = int(info.get("applied_seq", 0))
+            peers[replica_id] = {
+                "applied_seq": applied,
+                "cum_edges": int(info.get("cum_edges", 0)),
+                "generation": info.get("generation"),
+                "lag_seq": max(0, int(writer_seq) - applied),
+                "connected": bool(info.get("connected", False)),
+                "age_s": round(now - float(info.get("ts", now)), 3),
+                "n_resyncs": int(info.get("n_resyncs", 0)),
+            }
+        return {
+            "role": "writer",
+            "writer_seq": int(writer_seq),
+            "n_replicas": sum(1 for p in peers.values() if p["connected"]),
+            "peers": peers,
+        }
+
 
 class _GraphConnection(asyncio.Protocol):
     """One client connection: frame decode, ordered dispatch, telemetry.
@@ -225,6 +296,8 @@ class _GraphConnection(asyncio.Protocol):
         self.closing = False
         self._queue: deque = deque()
         self._busy = False      # an async op's future is in flight
+        self.repl_tailer: WalTailer | None = None
+        self.replica_id: str | None = None
 
     # ---------------------------- plumbing ---------------------------- #
     def connection_made(self, transport) -> None:
@@ -238,6 +311,7 @@ class _GraphConnection(asyncio.Protocol):
         server = self.server
         server.n_connections += 1
         server.active_connections += 1
+        server._conns.add(self)
         if obs_hooks.enabled:
             registry = obs.get_registry()
             registry.counter("net.connections").inc()
@@ -248,6 +322,12 @@ class _GraphConnection(asyncio.Protocol):
         self._queue.clear()
         server = self.server
         server.active_connections -= 1
+        server._conns.discard(self)
+        if self.replica_id is not None:
+            peer = server.replication_peers.get(self.replica_id)
+            if peer is not None:
+                peer["connected"] = False
+                peer["ts"] = time.time()
         if obs_hooks.enabled:
             obs.get_registry().gauge("net.active_conns").set(
                 server.active_connections)
@@ -328,6 +408,8 @@ class _GraphConnection(asyncio.Protocol):
                 self._start_async(request_id, self._write_job(op, args))
             elif family == "read":
                 self._send(self._do_read(request_id, op, args))
+            elif family == "repl":
+                self._start_async(request_id, self._repl_job(op, args))
             elif op in ("digest", "refresh"):
                 self._start_async(request_id, self._admin_job(op))
             else:
@@ -419,6 +501,129 @@ class _GraphConnection(asyncio.Protocol):
 
         return job
 
+    # ----------------------- replication ops --------------------------- #
+    def _repl_job(self, op: str, args: dict):
+        """Executor job for one replication-family op.
+
+        Replication ops run on the pool like writes do: ``subscribe``
+        and ``resync`` touch the store/WAL, and ``wal_batch`` may
+        long-poll.  While one is in flight this connection's queue is
+        parked — which is exactly the per-connection ordering a
+        replication stream wants.
+        """
+        if op == "subscribe":
+            return lambda: self._repl_subscribe(args)
+        if op == "wal_batch":
+            return lambda: self._repl_wal_batch(args)
+        if op == "replica_status":
+            return lambda: self._repl_status(args)
+        return lambda: self._repl_resync(args)
+
+    def _repl_subscribe(self, args: dict) -> dict:
+        server = self.server
+        service = server.service
+        after_seq = int(args.get("after_seq", 0))
+        cum_edges = int(args.get("cum_edges", 0))
+        replica_id = str(args.get("replica_id") or f"conn-{id(self):x}")
+        wal = service._wal
+        if after_seq > wal.last_seq:
+            raise CursorGapError(
+                f"subscription cursor {after_seq} is ahead of this "
+                f"writer's log (last seq {wal.last_seq}) — the replica "
+                f"holds foreign history and must resync")
+        # Eager cursor validation: raises CursorGapError right here when
+        # checkpoint pruning already dropped the requested records.
+        self.repl_tailer = WalTailer(service.directory, after_seq, cum_edges)
+        self.replica_id = replica_id
+        previous = server.replication_peers.get(replica_id, {})
+        server.replication_peers[replica_id] = {
+            "applied_seq": after_seq,
+            "cum_edges": cum_edges,
+            "generation": previous.get("generation"),
+            "connected": True,
+            "ts": time.time(),
+            "n_resyncs": int(previous.get("n_resyncs", 0)),
+        }
+        if obs_hooks.enabled:
+            get_recorder().record("repl.subscribe", replica=replica_id,
+                                  after_seq=after_seq)
+        log.info(kv("replica subscribed", replica=replica_id,
+                    after_seq=after_seq, writer_seq=wal.last_seq))
+        return {"replica_id": replica_id,
+                "writer_seq": int(wal.last_seq),
+                "writer_cum_edges": int(wal.cum_edges)}
+
+    def _repl_wal_batch(self, args: dict) -> dict:
+        if self.repl_tailer is None:
+            raise WorkloadError("wal_batch before subscribe on this "
+                                "connection")
+        tailer = self.repl_tailer
+        max_records = min(int(args.get("max_records",
+                                       DEFAULT_POLL_RECORDS)),
+                          MAX_BATCH_RECORDS)
+        wait_s = min(float(args.get("wait_s", 0.0)), MAX_BATCH_WAIT)
+        deadline = time.monotonic() + wait_s
+        records = tailer.poll(max_records)
+        while not records and not self.closing:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            time.sleep(min(0.02, remaining))
+            records = tailer.poll(max_records)
+        wal = self.server.service._wal
+        return {"records": [wal_record_to_wire(r) for r in records],
+                "last_seq": int(tailer.last_seq),
+                "cum_edges": int(tailer.cum_edges),
+                "writer_seq": int(wal.last_seq)}
+
+    def _repl_status(self, args: dict) -> dict:
+        server = self.server
+        service = server.service
+        replica_id = self.replica_id or str(args.get("replica_id") or "")
+        wal = service._wal
+        if replica_id:
+            previous = server.replication_peers.get(replica_id, {})
+            server.replication_peers[replica_id] = {
+                "applied_seq": int(args.get("applied_seq", 0)),
+                "cum_edges": int(args.get("cum_edges", 0)),
+                "generation": args.get("generation"),
+                "connected": True,
+                "ts": time.time(),
+                "n_resyncs": int(previous.get("n_resyncs", 0)),
+            }
+        return {"writer_seq": int(wal.last_seq),
+                "writer_applied_seq": int(service.applied_seq)}
+
+    def _repl_resync(self, args: dict) -> dict:
+        server = self.server
+        service = server.service
+        # One consistent cut: the store content, its digest, and the WAL
+        # cursor it reflects, all under the store lock (the flusher
+        # updates the cursor inside the same critical section it applies
+        # batches in, so the triple cannot tear).
+        with service._store_lock:
+            store = service._store
+            src, dst, weight = store.analytics_edges()
+            digest = store_digest(store)
+            last_seq = int(service.applied_seq)
+            cum_edges = int(service.cum_input_edges)
+        if self.replica_id is not None:
+            peer = server.replication_peers.get(self.replica_id)
+            if peer is not None:
+                peer["n_resyncs"] = int(peer.get("n_resyncs", 0)) + 1
+                peer["ts"] = time.time()
+        if obs_hooks.enabled:
+            obs.get_registry().counter("net.repl.resyncs").inc()
+            get_recorder().record("repl.resync", replica=self.replica_id,
+                                  last_seq=last_seq,
+                                  n_edges=int(src.shape[0]))
+        log.info(kv("serving full resync", replica=self.replica_id,
+                    last_seq=last_seq, n_edges=int(src.shape[0])))
+        return {"src": src.tolist(), "dst": dst.tolist(),
+                "weight": weight.tolist(),
+                "last_seq": last_seq, "cum_edges": cum_edges,
+                "digest": digest}
+
     # --------------------------- sync ops ------------------------------ #
     def _do_hello(self, request_id, request) -> None:
         args = request.get("args") or {}
@@ -466,8 +671,16 @@ class _GraphConnection(asyncio.Protocol):
                 _int_arg(args, "src"), _int_arg(args, "dst"),
                 weighted=bool(args.get("weighted", True)),
                 limit=min(limit, server.path_limit))
-        return {"id": request_id, "ok": True, "result": result,
-                "generation": view.generation}
+        response = {"id": request_id, "ok": True, "result": result,
+                    "generation": view.generation,
+                    "applied_seq": view.applied_seq}
+        # Replicas report honest staleness on every read (lag behind the
+        # writer's known cursor); a plain writer service has no notion
+        # of it, hence the probe.
+        read_staleness = getattr(server.service, "read_staleness", None)
+        if read_staleness is not None:
+            response["staleness"] = read_staleness()
+        return response
 
     def _do_admin(self, request_id, op: str) -> dict:
         server = self.server
@@ -481,6 +694,11 @@ class _GraphConnection(asyncio.Protocol):
                 "view_generation": server._view.generation,
                 "view_applied_seq": server._view.applied_seq,
             }
+            # A replica's service reports its own replication block
+            # (role "replica", upstream cursor/lag); only a plain
+            # writer gets the peer-registry view filled in here.
+            if "replication" not in health:
+                health["replication"] = server.replication_health()
             return {"id": request_id, "ok": True, "result": health}
         if op == "metrics":
             text = obs.registry_to_prometheus(obs.get_registry())

@@ -13,6 +13,9 @@ long-running deployment needs (docs/service.md):
 * :mod:`repro.service.faults` — fault injection: byte-exact writer
   kills, scheduled transient WAL I/O errors, and in-memory store
   corruption for fsck testing.
+* :mod:`repro.service.tail` — :class:`WalTailer`, cursor-based
+  tail-follow reads of a live WAL (the substrate replication streams
+  ride on).
 
 Nothing in the core data-structure or benchmark paths imports this
 package; using the library without the service costs nothing.
@@ -39,6 +42,7 @@ from repro.service.faults import (
 )
 from repro.service.recovery import RecoveryResult, recover
 from repro.service.service import GraphService, Ticket
+from repro.service.tail import DEFAULT_POLL_RECORDS, WalTailer, segment_first_seq
 from repro.service.wal import (
     OP_DELETE,
     OP_INSERT,
@@ -56,6 +60,7 @@ __all__ = [
     "CheckpointManager",
     "CorruptionError",
     "CrashableFile",
+    "DEFAULT_POLL_RECORDS",
     "FaultInjector",
     "FaultyWriteAheadLog",
     "FlakyWriteAheadLog",
@@ -70,6 +75,7 @@ __all__ = [
     "Ticket",
     "TransientFaultInjector",
     "WalRecord",
+    "WalTailer",
     "WriteAheadLog",
     "iter_records",
     "latest_checkpoint",
@@ -79,5 +85,6 @@ __all__ = [
     "prune_segments",
     "recover",
     "scan_segment",
+    "segment_first_seq",
     "truncate_torn_tail",
 ]
