@@ -188,6 +188,39 @@ class CSRRebuildStore:
         for s, d, x in zip(src.tolist(), dst.tolist(), w.tolist()):
             yield s, d, x
 
+    # ------------------------------------------------------------------ #
+    # engine surface (repro.core.store protocol subset; no CSR snapshot)
+    # ------------------------------------------------------------------ #
+    @property
+    def analytics_snapshot(self):
+        return None
+
+    @property
+    def id_translator(self):
+        return None
+
+    @property
+    def full_load_is_row_sweep(self) -> bool:
+        # The full load streams the rebuilt CSR sequentially; the per-row
+        # sweep pays random reads instead — different charge shapes.
+        return False
+
+    def original_ids(self, dense: np.ndarray) -> np.ndarray:
+        return np.asarray(dense, dtype=np.int64)
+
+    def dense_row_count(self) -> int:
+        return self._n_vertices
+
+    def row_neighbors(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        return self.neighbors(row)
+
+    def neighbors_many(
+        self, active: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        from repro.engine.snapshot import gather_active_scalar, sanitize_active
+
+        return gather_active_scalar(self, sanitize_active(active))
+
     def check_invariants(self) -> None:
         self._fresh()
         assert self._indices.shape[0] == len(self._log)

@@ -14,54 +14,45 @@ modeled numbers are the primary reproduction metric (see DESIGN.md §1).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.bench.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.bench.metrics import BatchMeasurement, run_batched
-from repro.core.config import GTConfig, StingerConfig
-from repro.core.graphtinker import GraphTinker
+from repro.core.config import GTConfig, StingerConfig, TieredConfig
 from repro.core.parallel import PartitionedStore
 from repro.core.stats import AccessStats
+from repro.core.store import create_store
 from repro.engine.hybrid import ComputeResult, HybridEngine
 from repro.engine.gas import GASProgram
-from repro.stinger import Stinger
 from repro.workloads.streams import EdgeStream
 
 
 def make_store(kind: str, gt_config: GTConfig | None = None,
                stinger_config: StingerConfig | None = None,
                kernel: str | None = None,
-               snapshot: bool | None = None):
-    """Build a store by name: ``"graphtinker"``, ``"gt_nocal"``,
-    ``"gt_nosgh"``, ``"gt_plain"`` (both off), ``"stinger"``.
+               snapshot: bool | None = None,
+               tiered_config: TieredConfig | None = None):
+    """Build a store by registry name: ``"graphtinker"``, ``"gt_nocal"``,
+    ``"gt_nosgh"``, ``"gt_plain"`` (both off), ``"stinger"``,
+    ``"tiered"`` — see :func:`repro.core.store.backend_names`.
 
-    ``kernel`` overrides the batch-ingest kernel of the GraphTinker kinds
+    Thin wrapper over :func:`repro.core.store.create_store` keeping the
+    historical per-family config keywords.  ``kernel`` overrides the
+    batch-ingest kernel of the GraphTinker kinds
     (``"scalar"``/``"vector"``); ``snapshot`` attaches the CSR analytics
-    snapshot (all kinds, STINGER included).  Neither ever changes any
-    modeled number, only wall-clock speed.
+    snapshot (every kind).  Neither ever changes any modeled number,
+    only wall-clock speed.
     """
-    cfg = gt_config or GTConfig()
-    if kernel is not None:
-        cfg = cfg.with_(kernel=kernel)
-    if snapshot is not None:
-        cfg = cfg.with_(snapshot=snapshot)
-    if kind == "graphtinker":
-        return GraphTinker(cfg)
-    if kind == "gt_nocal":
-        return GraphTinker(cfg.with_(enable_cal=False))
-    if kind == "gt_nosgh":
-        return GraphTinker(cfg.with_(enable_sgh=False))
-    if kind == "gt_plain":
-        return GraphTinker(cfg.with_(enable_cal=False, enable_sgh=False))
     if kind == "stinger":
-        scfg = stinger_config or StingerConfig()
-        if snapshot is not None:
-            scfg = replace(scfg, snapshot=snapshot)
-        return Stinger(scfg)
-    raise ValueError(f"unknown store kind {kind!r}")
+        config = stinger_config
+    elif kind == "tiered":
+        config = tiered_config
+    else:
+        config = gt_config
+    return create_store(kind, config, kernel=kernel, snapshot=snapshot)
 
 
 # --------------------------------------------------------------------- #

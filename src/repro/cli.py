@@ -62,6 +62,7 @@ from repro.bench.costmodel import DEFAULT_COST_MODEL as MODEL
 from repro.bench.harness import insertion_run, make_store
 from repro.bench.reporting import Table
 from repro.core.probes import graphtinker_probe_summary, stinger_probe_summary
+from repro.core.store import store_digest
 from repro.engine import HybridEngine
 from repro.engine.algorithms import BFS, SSSP, ConnectedComponents, PageRank
 from repro.obs.log import LEVELS, configure_logging, get_logger, kv
@@ -135,11 +136,14 @@ def cmd_load(args) -> int:
         table.add_row([kind] + [m.modeled_throughput(MODEL) for m in ms])
         report["systems"].append({
             "system": kind,
-            "kernel": args.kernel if kind != "stinger" else None,
+            "kernel": None if kind in ("stinger", "tiered") else args.kernel,
             "modeled_throughput": [m.modeled_throughput(MODEL) for m in ms],
             "wall_seconds": [m.wall_seconds for m in ms],
             "final_edges": int(store.n_edges),
             "block_accesses": int(store.stats.total_block_accesses),
+            # Canonical content digest: every backend loading the same
+            # stream must agree here (CI diffs tiered against graphtinker).
+            "digest": store_digest(store),
         })
     table.print()
     if args.json:
@@ -327,8 +331,15 @@ def cmd_serve(args) -> int:
         injector = TransientFaultInjector(
             fail_every=args.fail_every, fail_times=args.fail_times,
             hard=args.hard_faults)
+    config = None
+    if args.system is not None:
+        from repro.core.config import GTConfig, StingerConfig, TieredConfig
+
+        config = {"graphtinker": GTConfig, "stinger": StingerConfig,
+                  "tiered": TieredConfig}[args.system]()
     service, rec = GraphService.open(
         data_dir,
+        config=config,
         batch_edges=args.batch_size,
         flush_interval=args.flush_interval,
         sync=args.sync,
@@ -900,7 +911,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--edges", type=int, default=48_000)
     p.add_argument("--batches", type=int, default=6)
     p.add_argument("--systems", nargs="+", default=["graphtinker", "stinger"],
-                   choices=["graphtinker", "gt_nocal", "gt_nosgh", "gt_plain", "stinger"])
+                   choices=["graphtinker", "gt_nocal", "gt_nosgh", "gt_plain",
+                            "stinger", "tiered"])
     p.add_argument("--kernel", default="vector", choices=["vector", "scalar"],
                    help="batch-ingest kernel for the GraphTinker systems "
                         "(bit-identical results; wall-clock only)")
@@ -917,7 +929,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="hybrid",
                    choices=["hybrid", "full", "incremental", "full_vc"])
     p.add_argument("--system", default="graphtinker",
-                   choices=["graphtinker", "stinger"])
+                   choices=["graphtinker", "stinger", "tiered"])
     p.add_argument("--snapshot", action="store_true",
                    help="attach the CSR analytics snapshot (bit-identical "
                         "results and modeled costs; wall-clock only)")
@@ -940,7 +952,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--edges", type=int, default=12_000)
     p.add_argument("--batches", type=int, default=4)
     p.add_argument("--system", default="graphtinker",
-                   choices=["graphtinker", "stinger"])
+                   choices=["graphtinker", "stinger", "tiered"])
     p.add_argument("--jsonl", default=None, metavar="PATH",
                    help="also write the span tree as JSONL")
     p.add_argument("--prometheus", default=None, metavar="PATH",
@@ -952,6 +964,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "WAL-backed graph service")
     p.add_argument("--data-dir", required=True,
                    help="service directory (WAL segments + checkpoints)")
+    p.add_argument("--system", default=None,
+                   choices=["graphtinker", "stinger", "tiered"],
+                   help="backing store (default: the checkpoint's writer "
+                        "backend on --resume, else graphtinker)")
     p.add_argument("--scale", type=int, default=10, help="RMAT scale")
     p.add_argument("--edges", type=int, default=20_000,
                    help="total input rows in the stream")

@@ -174,6 +174,63 @@ class StingerConfig:
             raise ConfigError("initial_vertices must be positive")
 
 
+#: Degree-tiered backend defaults: inline rows up to degree 4, small
+#: open-addressing sets up to 32, hash tables beyond — with a hysteresis
+#: band of 2 so a vertex oscillating around a threshold does not thrash.
+DEFAULT_TIER_TAU1 = 4
+DEFAULT_TIER_TAU2 = 32
+DEFAULT_TIER_HYSTERESIS = 2
+
+
+@dataclass(frozen=True)
+class TieredConfig:
+    """Configuration of the degree-tiered :class:`~repro.core.tiered.TieredStore`.
+
+    Parameters
+    ----------
+    tau1:
+        Inline-tier degree ceiling.  A vertex is *promoted* from the
+        inline array (tier 0) to the small open-addressing set (tier 1)
+        when an insert pushes its degree above ``tau1``.
+    tau2:
+        Small-set degree ceiling; crossing it promotes the vertex to the
+        large hash table (tier 2).
+    hysteresis:
+        Demotion slack.  A vertex only drops a tier once its degree falls
+        to ``tau - hysteresis`` (not the moment it dips below ``tau``),
+        so churn oscillating around a threshold cannot thrash
+        promote/demote rebuilds.  Must satisfy ``1 <= hysteresis <= tau1``.
+    initial_vertices:
+        Source-id table slots pre-allocated (grown on demand).
+    snapshot:
+        Attach the CSR analytics snapshot at construction — the same
+        charge-mirror contract as on :class:`GTConfig` /
+        :class:`StingerConfig`.
+    """
+
+    tau1: int = DEFAULT_TIER_TAU1
+    tau2: int = DEFAULT_TIER_TAU2
+    hysteresis: int = DEFAULT_TIER_HYSTERESIS
+    initial_vertices: int = 16
+    snapshot: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tau1 < 1:
+            raise ConfigError(f"tau1 must be >= 1, got {self.tau1}")
+        if self.tau2 <= self.tau1:
+            raise ConfigError(
+                f"tau2 must exceed tau1, got tau1={self.tau1} tau2={self.tau2}")
+        if not (1 <= self.hysteresis <= self.tau1):
+            raise ConfigError(
+                f"hysteresis must be in [1, tau1], got {self.hysteresis}")
+        if self.initial_vertices <= 0:
+            raise ConfigError("initial_vertices must be positive")
+
+    def with_(self, **changes: Any) -> "TieredConfig":
+        """Return a copy with ``changes`` applied (validation re-runs)."""
+        return replace(self, **changes)
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Hybrid graph-engine configuration (Sec. IV.B).

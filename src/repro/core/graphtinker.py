@@ -113,7 +113,10 @@ class GraphTinker:
     def _dense(self, src: int, create: bool) -> int | None:
         """Translate an original source id to the internal dense id."""
         if self.sgh is None:
-            return int(src)
+            src = int(src)
+            if src < 0 and not create:
+                return None  # negative ids are always a lookup miss
+            return src
         if create:
             return self.sgh.hash_id(src)
         return self.sgh.try_lookup(src)
@@ -135,6 +138,28 @@ class GraphTinker:
         if self.sgh is None:
             return np.asarray(dense, dtype=np.int64)
         return self.sgh.original_ids(np.asarray(dense))
+
+    # ------------------------------------------------------------------ #
+    # snapshot row surface (repro.core.store protocol)
+    # ------------------------------------------------------------------ #
+    def dense_row_count(self) -> int:
+        """Allocated dense EdgeblockArray rows (snapshot row space)."""
+        return self.eba.n_vertices
+
+    def row_neighbors(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """Charged native walk of dense row ``row`` (the EBA tree walk)."""
+        return self.eba.neighbors(row)
+
+    @property
+    def id_translator(self):
+        """The SGH densifier (``None`` with ``enable_sgh=False``)."""
+        return self.sgh
+
+    @property
+    def full_load_is_row_sweep(self) -> bool:
+        """Without a CAL the FP load *is* the per-row EBA sweep; with one
+        it streams from the CAL in insertion order instead."""
+        return self.cal is None
 
     # ------------------------------------------------------------------ #
     # size properties
@@ -246,6 +271,8 @@ class GraphTinker:
 
     def delete_edge(self, src: int, dst: int) -> bool:
         """Delete edge ``(src, dst)``; return whether it existed."""
+        if int(dst) < 0:
+            return False  # would collide with the EMPTY/TOMBSTONE cells
         dense_src = self._dense(src, create=False)
         if dense_src is None or dense_src >= self.eba.n_vertices:
             return False
@@ -326,6 +353,8 @@ class GraphTinker:
     # ------------------------------------------------------------------ #
     def has_edge(self, src: int, dst: int) -> bool:
         """FIND-mode lookup of a single edge."""
+        if int(dst) < 0:
+            return False  # would collide with the EMPTY/TOMBSTONE cells
         dense_src = self._dense(src, create=False)
         if dense_src is None:
             return False
@@ -333,6 +362,8 @@ class GraphTinker:
 
     def edge_weight(self, src: int, dst: int) -> float | None:
         """Weight of edge ``(src, dst)`` or ``None`` if absent."""
+        if int(dst) < 0:
+            return None  # would collide with the EMPTY/TOMBSTONE cells
         dense_src = self._dense(src, create=False)
         if dense_src is None:
             return None

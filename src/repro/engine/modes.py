@@ -17,10 +17,9 @@ is what lets the hybrid engine flip modes per iteration.
 
 from __future__ import annotations
 
-from typing import Protocol
-
 import numpy as np
 
+from repro.core.store import Store
 from repro.engine.snapshot import gather_active_scalar, sanitize_active
 
 #: Mode identifiers (also used in iteration traces and reports).
@@ -30,18 +29,6 @@ INCREMENTAL = "IP"
 #: *vertices* and gather each one's out-edges from the EdgeblockArray,
 #: instead of streaming the edge set from the CAL.
 FULL_VC = "FP-VC"
-
-
-class Store(Protocol):
-    """The store interface the engine requires (GraphTinker or STINGER)."""
-
-    @property
-    def n_edges(self) -> int: ...
-    @property
-    def n_vertices(self) -> int: ...
-    def analytics_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]: ...
-    def neighbors(self, src: int) -> tuple[np.ndarray, np.ndarray]: ...
-    def degree(self, src: int) -> int: ...
 
 
 def load_edges_full(store: Store) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -64,7 +51,7 @@ def load_edges_full(store: Store) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     GraphTinker streams in CAL insertion order, which the CSR view does
     not reproduce, so that path stays native.
     """
-    snap = getattr(store, "analytics_snapshot", None)
+    snap = store.analytics_snapshot
     if snap is not None and snap.serves_full:
         return snap.gather_all()
     return store.analytics_edges()
@@ -87,31 +74,26 @@ def load_edges_full_vertex_centric(
     the per-vertex order and per-row charges are exactly those of the
     loop below, so traces and AccessStats stay bit-identical.
     """
-    snap = getattr(store, "analytics_snapshot", None)
+    snap = store.analytics_snapshot
     if snap is not None:
         return snap.gather_all()
-    if hasattr(store, "eba"):
-        vertices = np.arange(store.eba.n_vertices, dtype=np.int64)
-        srcs: list[np.ndarray] = []
-        dsts: list[np.ndarray] = []
-        weights: list[np.ndarray] = []
-        for dense in vertices.tolist():
-            dst, weight = store.neighbors_dense(dense)
-            if dst.shape[0]:
-                srcs.append(np.full(dst.shape[0], dense, dtype=np.int64))
-                dsts.append(dst)
-                weights.append(weight)
-        if not srcs:
-            empty_i = np.empty(0, dtype=np.int64)
-            return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64)
-        return (
-            store.original_ids(np.concatenate(srcs)),
-            np.concatenate(dsts),
-            np.concatenate(weights),
-        )
-    # STINGER (and any chain store): its full sweep already is a
-    # per-vertex gather, so VC and EC coincide there.
-    return store.analytics_edges()
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    for dense in range(store.dense_row_count()):
+        dst, weight = store.row_neighbors(dense)
+        if dst.shape[0]:
+            srcs.append(np.full(dst.shape[0], dense, dtype=np.int64))
+            dsts.append(dst)
+            weights.append(weight)
+    if not srcs:
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64)
+    return (
+        store.original_ids(np.concatenate(srcs)),
+        np.concatenate(dsts),
+        np.concatenate(weights),
+    )
 
 
 def load_edges_incremental(
@@ -130,7 +112,4 @@ def load_edges_incremental(
     one batched call, vectorized when their analytics snapshot is
     attached; the scalar fallback runs the identical per-vertex loop.
     """
-    gather = getattr(store, "neighbors_many", None)
-    if gather is not None:
-        return gather(active)
-    return gather_active_scalar(store, sanitize_active(active))
+    return store.neighbors_many(active)

@@ -104,16 +104,17 @@ def gather_active_scalar(store, active: np.ndarray):
 class AnalyticsSnapshot:
     """Incrementally-maintained CSR view over one store.
 
-    Works for both :class:`~repro.core.graphtinker.GraphTinker` (rows are
-    dense SGH ids; tree walks measured through ``eba.neighbors``) and
-    :class:`~repro.stinger.Stinger` (rows are raw source ids; chain walks
-    measured through ``neighbors``).  Attach via the stores'
-    ``enable_snapshot()`` or the ``snapshot=True`` config flag.
+    Works for any backend implementing the snapshot-row surface of the
+    :class:`repro.core.store.Store` protocol — ``dense_row_count()`` /
+    ``row_neighbors()`` for the charged native walks, ``id_translator``
+    for the original<->dense mapping (``None`` on raw-id stores), and
+    ``full_load_is_row_sweep`` to say whether the FP load is this same
+    sweep.  Attach via the stores' ``enable_snapshot()`` or the
+    ``snapshot=True`` config flag.
     """
 
     def __init__(self, store):
         self.store = store
-        self._is_gt = hasattr(store, "eba")
         self._rows_dst: list[np.ndarray] = []
         self._rows_weight: list[np.ndarray] = []
         self._charges = np.zeros((0, _N_FIELDS), dtype=np.int64)
@@ -158,7 +159,7 @@ class AnalyticsSnapshot:
         return len(self._rows_dst)
 
     def _store_rows(self) -> int:
-        return self.store.eba.n_vertices if self._is_gt else self.store.n_vertices
+        return self.store.dense_row_count()
 
     def mark_dirty(self, row: int) -> None:
         """One mutation touched dense row ``row``; re-measure it on next use."""
@@ -273,10 +274,7 @@ class AnalyticsSnapshot:
         live counters — measuring must not perturb the accounting)."""
         stats = self.store.stats
         before = [getattr(stats, name) for name in STAT_FIELDS]
-        if self._is_gt:
-            dst, weight = self.store.eba.neighbors(row)
-        else:
-            dst, weight = self.store.neighbors(row)
+        dst, weight = self.store.row_neighbors(row)
         for i, name in enumerate(STAT_FIELDS):
             self._charges[row, i] = getattr(stats, name) - before[i]
             setattr(stats, name, before[i])
@@ -404,7 +402,7 @@ class AnalyticsSnapshot:
         return np.repeat(src_ids, counts), self._dst[idx], self._weight[idx]
 
     def _refresh_xlat(self) -> None:
-        sgh = self.store.sgh
+        sgh = self.store.id_translator
         if self._xlat_count != len(sgh):
             originals = sgh.reverse_view()
             order = np.argsort(originals, kind="stable")
@@ -454,7 +452,7 @@ class AnalyticsSnapshot:
         if active.size == 0:
             return _empty_triple()
         stats = self.store.stats
-        if self._is_gt and self.store.sgh is not None:
+        if self.store.id_translator is not None:
             found, rows = self._translate(active)
             counts = self._indptr[rows + 1] - self._indptr[rows]
             nonzero = counts > 0
@@ -480,7 +478,8 @@ class AnalyticsSnapshot:
 
         The native sweep walks *every* dense row — empty rows included —
         so the summed charge covers all rows, while the output keeps only
-        rows with live edges.
+        rows with live edges.  Sources come out translated to original
+        ids (the identity on raw-id stores).
         """
         self._sync()
         self._count_hit()
@@ -491,19 +490,18 @@ class AnalyticsSnapshot:
         counts = self._indptr[1:] - self._indptr[:-1]
         rows = np.flatnonzero(counts > 0)
         src, dst, weight = self._take_rows(rows, rows)
-        if self._is_gt:
-            src = self.store.original_ids(src)
+        src = self.store.original_ids(src)
         return src, dst, weight
 
     @property
     def serves_full(self) -> bool:
         """Whether the FP (edge-centric full) load is this same sweep.
 
-        True for STINGER (its full load *is* the per-vertex chain sweep)
-        and for a CAL-less GraphTinker; a CAL-backed GraphTinker streams
-        full loads from the CAL in insertion order, which the CSR view
-        does not reproduce, so that path stays native.
+        True for STINGER / TieredStore (their full load *is* the
+        per-vertex row sweep) and for a CAL-less GraphTinker; a
+        CAL-backed GraphTinker streams full loads from the CAL in
+        insertion order, which the CSR view does not reproduce, so that
+        path stays native.  Answered by the store itself through the
+        protocol's ``full_load_is_row_sweep``.
         """
-        if not self._is_gt:
-            return True
-        return self.store.cal is None
+        return self.store.full_load_is_row_sweep

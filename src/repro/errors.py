@@ -16,6 +16,16 @@ class ConfigError(ReproError, ValueError):
     """An invalid configuration value was supplied."""
 
 
+class StoreProtocolError(ReproError, TypeError):
+    """A backend does not implement the full :class:`repro.core.store.Store`
+    contract.
+
+    Raised at registration/construction time — naming every missing
+    member — so an incomplete backend fails loudly up front instead of
+    deep inside an engine kernel with an ``AttributeError``.
+    """
+
+
 class CapacityError(ReproError):
     """A fixed-capacity structure could not accommodate an element.
 

@@ -24,8 +24,6 @@ instead of a stringly-typed remote error.
 
 from __future__ import annotations
 
-import hashlib
-
 import numpy as np
 
 from repro.errors import (
@@ -256,14 +254,10 @@ def store_digest(store) -> dict:
     before hashing, so any two stores holding the same logical edges —
     whatever physical layout or insertion order produced them — digest
     identically.  This is the equality oracle the wire-vs-in-process
-    differential tests compare.
+    differential tests compare.  Re-exported from
+    :func:`repro.core.store.store_digest`, which computes it through the
+    formal protocol surface (``edge_arrays`` + ``original_ids``).
     """
-    src, dst, weight = store.edge_arrays()
-    if hasattr(store, "original_ids") and src.size:
-        src = store.original_ids(src)
-    order = np.lexsort((dst, src))
-    h = hashlib.sha256()
-    h.update(np.ascontiguousarray(src[order], dtype=np.int64).tobytes())
-    h.update(np.ascontiguousarray(dst[order], dtype=np.int64).tobytes())
-    h.update(np.ascontiguousarray(weight[order], dtype=np.float64).tobytes())
-    return {"sha256": h.hexdigest(), "n_edges": int(src.shape[0])}
+    from repro.core.store import store_digest as _core_digest
+
+    return _core_digest(store)

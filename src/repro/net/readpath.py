@@ -317,7 +317,7 @@ def capture_view(service, *, max_patch_rows: int | None = None) -> ReadView:
     generation = snap.sync(max_rows=max_patch_rows)
     indptr, dst, weight = snap.view_arrays()
     overlay = snap.overlay_rows()
-    if getattr(store, "sgh", None) is not None:
+    if store.id_translator is not None:
         xlat_orig, xlat_dense = snap.translation()
     else:
         xlat_orig = xlat_dense = None

@@ -28,8 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 import repro.obs as obs
-from repro.core.config import GTConfig
-from repro.core.graphtinker import GraphTinker
+from repro.core.store import store_from_config
 from repro.errors import ServiceError
 from repro.obs import hooks as obs_hooks
 from repro.service import wal as wal_mod
@@ -40,7 +39,7 @@ from repro.service.checkpoint import latest_checkpoint
 class RecoveryResult:
     """What recovery rebuilt and how it got there."""
 
-    store: GraphTinker
+    store: object          # any repro.core.store.Store backend
     last_seq: int            # sequence the store now reflects
     cum_edges: int           # input rows consumed through last_seq
     checkpoint_seq: int      # 0 when no checkpoint was used
@@ -83,13 +82,16 @@ def _publish(result: RecoveryResult) -> None:
             len(result.fsck.violations))
 
 
-def recover(directory: str | Path, config: GTConfig | None = None,
+def recover(directory: str | Path, config=None,
             verify: str | None = "quick") -> RecoveryResult:
     """Rebuild the service store from ``directory``.
 
     ``config`` overrides the checkpoint's embedded writer config (useful
-    to recover a delete-only log into a compacting store); with neither,
-    paper defaults apply.
+    to recover a delete-only log into a compacting store, or onto a
+    different backend entirely); with neither, paper defaults apply.
+    The backend is chosen from the config via
+    :func:`repro.core.store.store_from_config`, so a checkpoint written
+    by a STINGER or tiered store recovers into the same backend.
 
     ``verify`` selects the bounded post-recovery fsck level (``"quick"``
     by default — the vectorised degree/duplicate/count invariants;
@@ -105,16 +107,15 @@ def recover(directory: str | Path, config: GTConfig | None = None,
 
         checkpoint = latest_checkpoint(directory)
         if checkpoint is not None:
-            if config is None and isinstance(checkpoint.snapshot.writer_config,
-                                             GTConfig):
+            if config is None:
                 config = checkpoint.snapshot.writer_config
-            store = GraphTinker(config if config is not None else GTConfig())
+            store = store_from_config(config)
             store.insert_batch(checkpoint.snapshot.edges,
                                checkpoint.snapshot.weights)
             last_seq = checkpoint.last_seq
             cum_edges = checkpoint.cum_edges
         else:
-            store = GraphTinker(config if config is not None else GTConfig())
+            store = store_from_config(config)
             last_seq = 0
             cum_edges = 0
 
@@ -144,9 +145,7 @@ def recover(directory: str | Path, config: GTConfig | None = None,
             result.replayed_edges += record.n_edges
             result.replayed_seqs.append(record.seq)
         if verify is not None:
-            from repro.core.verify import verify_graph
-
-            result.fsck = verify_graph(store, level=verify)
+            result.fsck = store.fsck(level=verify)
             span.set_attr("fsck_violations", len(result.fsck.violations))
         span.set_attr("replayed_records", result.replayed_records)
         span.set_attr("checkpoint_seq", result.checkpoint_seq)

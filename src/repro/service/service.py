@@ -39,8 +39,7 @@ from pathlib import Path
 import numpy as np
 
 import repro.obs as obs
-from repro.core.config import GTConfig
-from repro.core.graphtinker import GraphTinker
+from repro.core.store import apply_kernel, store_from_config
 from repro.errors import (
     BreakerOpenError,
     QueueFullError,
@@ -106,7 +105,13 @@ class _Request:
 
 
 class GraphService:
-    """Durable frontend over one GraphTinker store (see module docstring).
+    """Durable frontend over one graph store (see module docstring).
+
+    Any :class:`repro.core.store.Store` backend serves: pass a ``store``
+    directly, or a backend config (``GTConfig`` / ``StingerConfig`` /
+    ``TieredConfig``) and the matching backend is built via
+    :func:`repro.core.store.store_from_config`.  The default remains the
+    paper's GraphTinker.
 
     Build fresh services on *clean* directories directly; anything with
     history goes through :meth:`GraphService.open`, which recovers first.
@@ -115,8 +120,8 @@ class GraphService:
     """
 
     def __init__(self, directory: str | Path, *,
-                 store: GraphTinker | None = None,
-                 config: GTConfig | None = None,
+                 store=None,
+                 config=None,
                  wal: WriteAheadLog | None = None,
                  batch_edges: int = 2048,
                  flush_interval: float = 0.05,
@@ -148,14 +153,13 @@ class GraphService:
             raise ServiceError("breaker_threshold must be >= 0")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self._store = store if store is not None else GraphTinker(
-            config if config is not None else GTConfig())
-        if kernel is not None:
-            # Batch-ingest kernel override; validated by GTConfig, and safe
-            # to apply to a recovered store because the kernel switch only
-            # selects the insert_batch/delete_batch implementation — both
-            # produce bit-identical store state and stats.
-            self._store.config = self._store.config.with_(kernel=kernel)
+        self._store = store if store is not None else store_from_config(config)
+        # Batch-ingest kernel override; validated by the config class, and
+        # safe to apply to a recovered store because the kernel switch only
+        # selects the insert_batch/delete_batch implementation — both
+        # produce bit-identical store state and stats.  Backends without a
+        # kernel knob (STINGER, tiered) keep their single implementation.
+        apply_kernel(self._store, kernel)
         if wal is not None:
             self._wal = wal
         elif injector is not None:
@@ -259,7 +263,7 @@ class GraphService:
     # lifecycle
     # ------------------------------------------------------------------ #
     @classmethod
-    def open(cls, directory: str | Path, config: GTConfig | None = None,
+    def open(cls, directory: str | Path, config=None,
              verify: str | None = "quick",
              **kwargs) -> tuple["GraphService", RecoveryResult]:
         """Recover ``directory`` and serve from the recovered state.

@@ -211,8 +211,8 @@ class Stinger:
     def delete_edge(self, src: int, dst: int) -> bool:
         """Delete ``(src, dst)``; flags the slot for reuse."""
         src, dst = int(src), int(dst)
-        if src >= self._n_vertices:
-            return False
+        if src < 0 or src >= self._n_vertices or dst < 0:
+            return False  # negative dst would match the EMPTY/DELETED flags
         block = int(self._head[src])
         while block >= 0:
             self.stats.random_block_reads += 1
@@ -283,8 +283,8 @@ class Stinger:
 
     def edge_weight(self, src: int, dst: int) -> float | None:
         src, dst = int(src), int(dst)
-        if src >= self._n_vertices:
-            return None
+        if src < 0 or src >= self._n_vertices or dst < 0:
+            return None  # negative dst would match the EMPTY/DELETED flags
         block = int(self._head[src])
         while block >= 0:
             self.stats.random_block_reads += 1
@@ -298,12 +298,12 @@ class Stinger:
         return None
 
     def degree(self, src: int) -> int:
-        return int(self._degree[src]) if src < self._n_vertices else 0
+        return int(self._degree[src]) if 0 <= src < self._n_vertices else 0
 
     def neighbors(self, src: int) -> tuple[np.ndarray, np.ndarray]:
         """Out-neighbours of ``src`` as ``(dst, weight)`` arrays."""
         src = int(src)
-        if src >= self._n_vertices:
+        if src < 0 or src >= self._n_vertices:
             raise VertexNotFoundError(src)
         dsts: list[np.ndarray] = []
         weights: list[np.ndarray] = []
@@ -382,6 +382,65 @@ class Stinger:
     def analytics_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Engine load path; STINGER ids are already original ids."""
         return self.edge_arrays()
+
+    # ------------------------------------------------------------------ #
+    # snapshot row surface (repro.core.store protocol)
+    # ------------------------------------------------------------------ #
+    def original_ids(self, dense: np.ndarray) -> np.ndarray:
+        """STINGER rows are original ids — the identity translation."""
+        return np.asarray(dense, dtype=np.int64)
+
+    def dense_row_count(self) -> int:
+        return self._n_vertices
+
+    def row_neighbors(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """Charged native walk of row ``row`` (the edgeblock chain walk)."""
+        return self.neighbors(row)
+
+    @property
+    def id_translator(self):
+        """No original<->dense indirection (rows are original ids)."""
+        return None
+
+    @property
+    def full_load_is_row_sweep(self) -> bool:
+        """STINGER's full load *is* the per-vertex chain sweep."""
+        return True
+
+    def fsck(self, level: str = "full", repair: bool = False):
+        """Audit the chains against the degree counters.
+
+        Delegates to the generic protocol audit
+        (:func:`repro.core.store.verify_store_generic`): per-row degree
+        agreement, duplicate-freedom, and the global edge count.
+        ``repair`` recounts the degree array and edge total from the
+        live chains (the only shadow state STINGER keeps) and returns a
+        :class:`~repro.core.verify.RepairReport`.
+        """
+        from repro.core.store import verify_store_generic
+        from repro.core.verify import RepairReport
+
+        report = verify_store_generic(self, level=level)
+        if not repair:
+            return report
+        backup = self.stats.snapshot()
+        recounted: list[int] = []
+        total = 0
+        for src in range(self._n_vertices):
+            dsts, _ = self.neighbors(src)
+            deg = int(dsts.shape[0])
+            if deg != int(self._degree[src]):
+                recounted.append(src)
+                self._degree[src] = deg
+            total += deg
+        self._n_edges = total
+        self.stats.reset()
+        self.stats.merge(backup)
+        if self._analytics_snapshot is not None:
+            self._analytics_snapshot.invalidate()
+        final = verify_store_generic(self, level=level)
+        return RepairReport(initial=report, final=final,
+                            recounted_vertices=recounted)
 
     # ------------------------------------------------------------------ #
     def check_invariants(self) -> None:

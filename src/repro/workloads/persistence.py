@@ -27,7 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.config import GTConfig, StingerConfig
+from repro.core.config import GTConfig, StingerConfig, TieredConfig
 from repro.core.graphtinker import GraphTinker
 from repro.errors import WorkloadError
 
@@ -36,7 +36,8 @@ _FORMAT_V1 = "repro-graph-snapshot-v1"
 _FORMAT_V2 = "repro-graph-snapshot-v2"
 _FORMAT = _FORMAT_V2  # what save_snapshot writes
 
-_CONFIG_CLASSES = {"GTConfig": GTConfig, "StingerConfig": StingerConfig}
+_CONFIG_CLASSES = {"GTConfig": GTConfig, "StingerConfig": StingerConfig,
+                   "TieredConfig": TieredConfig}
 
 
 @dataclass
@@ -47,7 +48,7 @@ class Snapshot:
     weights: np.ndarray
     version: int
     repro_version: str | None = None
-    writer_config: GTConfig | StingerConfig | None = None
+    writer_config: GTConfig | StingerConfig | TieredConfig | None = None
     meta: dict | None = None
 
     @property
@@ -86,7 +87,7 @@ def save_snapshot(store, path: str | Path, meta: dict | None = None) -> int:
     return int(src.shape[0])
 
 
-def _parse_config(config_json: str) -> GTConfig | StingerConfig | None:
+def _parse_config(config_json: str) -> GTConfig | StingerConfig | TieredConfig | None:
     if not config_json:
         return None
     payload = json.loads(config_json)
@@ -153,3 +154,25 @@ def restore_graphtinker(path: str | Path, config: GTConfig | None = None,
     gt = GraphTinker(config if config is not None else GTConfig())
     gt.insert_batch(snap.edges, snap.weights)
     return gt
+
+
+def restore_store(path: str | Path, config=None, use_writer_config: bool = True):
+    """Build a fresh store of the *writer's* kind from a snapshot.
+
+    The backend-generic sibling of :func:`restore_graphtinker`: a v2
+    snapshot embeds the writing store's config, and
+    :func:`repro.core.store.store_from_config` maps that config back to
+    its backend class — so a TieredStore checkpoint restores into a
+    TieredStore, a STINGER one into a STINGER, and so on.  An explicit
+    ``config`` (or a v1 snapshot, which carries no header) restores into
+    whatever backend that config selects — GraphTinker defaults when
+    ``None``.
+    """
+    from repro.core.store import store_from_config
+
+    snap = read_snapshot(path)
+    if config is None and use_writer_config and snap.writer_config is not None:
+        config = snap.writer_config
+    store = store_from_config(config)
+    store.insert_batch(snap.edges, snap.weights)
+    return store

@@ -1,12 +1,14 @@
-"""Randomized differential oracle: four implementations, one truth.
+"""Randomized differential oracle: five implementations, one truth.
 
 Each case replays one seeded operation stream — duplicate-heavy inserts,
 deletes (including misses and double-deletes), and self-loop bursts —
-through four systems in lockstep:
+through five systems in lockstep:
 
 * GraphTinker with the **scalar** kernel,
 * GraphTinker with the **vector** kernel,
 * the STINGER baseline,
+* the degree-tiered :class:`~repro.core.tiered.TieredStore` (small
+  thresholds, so the stream forces promotions and demotions),
 * the dict-of-dicts :class:`~tests.reference.ReferenceGraph`.
 
 After every operation the batch return values must agree, and probe
@@ -28,18 +30,27 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.config import GTConfig, StingerConfig
+import repro.obs as obs
+from repro.core.config import GTConfig, StingerConfig, TieredConfig
 from repro.core.graphtinker import GraphTinker
+from repro.core.store import store_digest
+from repro.core.tiered import TIER_INLINE, TIER_LARGE, TieredStore
 from repro.engine.algorithms import BFS, SSSP, ConnectedComponents
 from repro.engine.hybrid import HybridEngine
 from repro.errors import VertexNotFoundError
+from repro.obs.metrics import MetricsRegistry
 from repro.stinger import Stinger
+from repro.workloads.rmat import rmat_edges
 from tests.reference import (
     ReferenceGraph,
     reference_bfs,
     reference_cc,
     reference_sssp,
 )
+
+#: Small tier thresholds so the 120-vertex differential streams cross
+#: both promotion and demotion boundaries many times per run.
+TIERED_CFG = TieredConfig(tau1=2, tau2=6, hysteresis=1)
 
 # ≥5 configurations, chosen to exercise every feature combination the
 # kernels branch on: tiny geometry (fast branch-outs), each feature
@@ -125,6 +136,7 @@ def test_differential(name, cfg, seed):
         ("gt-scalar", GraphTinker(cfg.with_(kernel="scalar"))),
         ("gt-vector", GraphTinker(cfg.with_(kernel="vector"))),
         ("stinger", Stinger(StingerConfig(edgeblock_size=4))),
+        ("tiered", TieredStore(TIERED_CFG)),
     ]
     ref = ReferenceGraph()
 
@@ -157,6 +169,14 @@ def test_differential(name, cfg, seed):
     for label, store in systems[:2]:
         report = store.fsck(level="full")
         assert report.ok, f"config={name} seed={seed} [{label}]: {report.summary()}"
+
+    # The tiered store rode the same stream: it must have actually tiered
+    # (the duplicate-heavy stream pushes degrees through both thresholds)
+    # and still be structurally clean.
+    tiered = systems[3][1]
+    assert tiered.promotions >= 1, f"seed={seed}: no promotions observed"
+    tiered.check_invariants()
+    assert tiered.fsck(level="full").ok
 
 
 # --------------------------------------------------------------------- #
@@ -209,9 +229,13 @@ def test_analytics_lockstep(name, cfg, seed):
         ("stinger", Stinger(StingerConfig(edgeblock_size=4))),
         ("stinger-snapshot",
          Stinger(StingerConfig(edgeblock_size=4, snapshot=True))),
+        ("tiered", TieredStore(TIERED_CFG)),
+        ("tiered-snapshot", TieredStore(TIERED_CFG.with_(snapshot=True))),
     ]
     # (off-store, on-store) pairs whose modeled stats must match exactly.
-    snapshot_pairs = [("gt-vector", "gt-snapshot"), ("stinger", "stinger-snapshot")]
+    snapshot_pairs = [("gt-vector", "gt-snapshot"),
+                      ("stinger", "stinger-snapshot"),
+                      ("tiered", "tiered-snapshot")]
     ref = ReferenceGraph()
 
     for b, (ins, weights, dels) in enumerate(make_churn_stream(seed)):
@@ -278,3 +302,142 @@ def test_analytics_lockstep(name, cfg, seed):
         # GT kernel contract holds through engine traffic too.
         assert systems[0][1].stats.as_dict() == systems[1][1].stats.as_dict(), \
             f"{ctx}: scalar/vector stats diverge"
+
+
+# --------------------------------------------------------------------- #
+# TieredStore acceptance oracle: RMAT streams, both degree shapes.
+#
+# Power-law (Graph500 parameters) streams concentrate edges on hub
+# vertices — the workload the large tier exists for; uniform streams
+# (a=b=c=d=0.25) spread degrees thinly — the inline tier's home turf.
+# Either way the tiered store must agree with the dict reference
+# bit-for-bit (store_digest over the sorted edge list), and the obs
+# counters must witness real tier traffic: promotions during ingest, and
+# demotions during the mass-delete phase that drags hub degrees back
+# down through the hysteresis band.
+# --------------------------------------------------------------------- #
+RMAT_SCALE = 7          # 128-vertex id space, same ballpark as the oracle
+RMAT_EDGES = 1_500      # enough duplicates to build real hubs
+UNIFORM = dict(a=0.25, b=0.25, c=0.25, d=0.25, noise=0.0)
+
+
+@pytest.mark.parametrize("shape", ["power-law", "uniform"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_tiered_rmat_transitions_and_digest(shape, seed):
+    kwargs = UNIFORM if shape == "uniform" else {}
+    edges = rmat_edges(RMAT_SCALE, RMAT_EDGES, seed=seed, **kwargs)
+    rng = np.random.default_rng(seed)
+    weights = rng.random(edges.shape[0])
+
+    registry = MetricsRegistry()
+    prior = obs.set_registry(registry)
+    obs.enable()
+    try:
+        store = TieredStore(TIERED_CFG)
+        ref = ReferenceGraph()
+        # Ingest in a few batches (exercises the batch path under obs).
+        for lo in range(0, edges.shape[0], 500):
+            chunk, w = edges[lo:lo + 500], weights[lo:lo + 500]
+            store.insert_batch(chunk, w)
+            for (s, d), x in zip(chunk.tolist(), w.tolist()):
+                ref.insert_edge(s, d, x)
+        promotions = registry.counter("store.tier.promotions").value
+        assert promotions >= 1, f"{shape} seed={seed}: no promotions"
+        assert store.promotions == promotions
+
+        # Mass-delete phase: drain every edge of the hottest vertices so
+        # their rows fall back down through the hysteresis band.
+        by_degree = sorted(range(2 ** RMAT_SCALE), key=store.degree)
+        for v in by_degree[-12:]:
+            dsts, _ = store.neighbors(v)
+            dels = np.column_stack(
+                [np.full(dsts.shape[0], v, dtype=np.int64), dsts])
+            store.delete_batch(dels)
+            for d in dsts.tolist():
+                ref.delete_edge(v, d)
+        demotions = registry.counter("store.tier.demotions").value
+        assert demotions >= 1, f"{shape} seed={seed}: no demotions"
+        assert store.demotions == demotions
+
+        # Bit-equal content against the dict reference.
+        items = sorted(ref.weighted_edges().items())
+        rsrc = np.array([s for (s, _), _ in items], dtype=np.int64)
+        rdst = np.array([d for (_, d), _ in items], dtype=np.int64)
+        rw = np.array([w for _, w in items], dtype=np.float64)
+        twin = TieredStore(TIERED_CFG)
+        twin.insert_batch(np.column_stack([rsrc, rdst]), rw)
+        assert store_digest(store) == store_digest(twin), \
+            f"{shape} seed={seed}: digest diverges from reference"
+
+        # The occupancy report and the structure itself are consistent.
+        occupancy = store.tier_occupancy()
+        assert occupancy["promotions"] == store.promotions
+        assert occupancy["demotions"] == store.demotions
+        if shape == "power-law":
+            # Hubs exist: someone must have reached the large tier.
+            assert any(store.tier_of(v) == TIER_LARGE
+                       for v in range(2 ** RMAT_SCALE)) or demotions > 0
+        store.check_invariants()
+        assert store.fsck(level="full").ok
+    finally:
+        obs.disable()
+        obs.set_registry(prior)
+
+
+# --------------------------------------------------------------------- #
+# Property-based tier-transition invariants (hypothesis).
+#
+# Random op interleavings, adversarially shrunk: after every operation
+# the tiered store must agree with a dict model on degree and neighbour
+# sets, and ``check_invariants`` must hold — degrees match live content,
+# no duplicates, every row's tier is legal for its degree under the
+# hysteresis bands, and the per-tier occupancy counts are exact.  This
+# is the "no edge is lost or invented by a migration" property: every
+# promotion/demotion rebuilds the row, so any migration bug surfaces as
+# a model divergence within a few shrunk ops.
+# --------------------------------------------------------------------- #
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+N_PROP_VERTICES = 8  # tiny universe: every vertex crosses tiers often
+
+_ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete", "delete_vertex"]),
+              st.integers(0, N_PROP_VERTICES - 1),
+              st.integers(0, N_PROP_VERTICES - 1)),
+    min_size=1, max_size=120,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_tiered_transitions_preserve_content(ops):
+    cfg = TieredConfig(tau1=1, tau2=3, hysteresis=1, initial_vertices=2)
+    store = TieredStore(cfg)
+    model: dict[int, dict[int, float]] = {}
+    for i, (op, a, b) in enumerate(ops):
+        if op == "insert":
+            w = float(i)  # distinct weights make value mix-ups visible
+            store.insert_edge(a, b, w)
+            model.setdefault(a, {})[b] = w
+        elif op == "delete":
+            got = store.delete_edge(a, b)
+            want = model.get(a, {}).pop(b, None) is not None
+            assert got == want, f"op {i}: delete_edge returned {got}"
+        else:
+            got = store.delete_vertex(a)
+            assert got == len(model.pop(a, {})), f"op {i}: delete_vertex"
+        store.check_invariants()
+        for v, row in model.items():
+            assert store.degree(v) == len(row), f"op {i}: degree({v})"
+            if row:
+                dsts, ws = store.neighbors(v)
+                assert dict(zip(dsts.tolist(), ws.tolist())) == row, \
+                    f"op {i}: neighbors({v})"
+            deg = len(row)
+            tier = store.tier_of(v)
+            if deg > cfg.tau2:
+                assert tier == TIER_LARGE, f"op {i}: hub {v} in tier {tier}"
+            elif deg <= cfg.tau1 - cfg.hysteresis:
+                assert tier == TIER_INLINE, f"op {i}: cold {v} in tier {tier}"
+    assert store.n_edges == sum(len(r) for r in model.values())
