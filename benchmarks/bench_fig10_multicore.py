@@ -5,9 +5,26 @@ STINGER instances (Sec. III.D); per-batch parallel time is the makespan
 (max over partitions) of the modeled per-partition cost — the critical
 path of the paper's shared-nothing parallelisation.
 
-Expected shapes: throughput rises with core count for both systems;
-GraphTinker beats STINGER at every core count; STINGER's per-run
-degradation (first batch -> last batch) stays far worse than
+Modeled vs. measured
+--------------------
+The table reports the two families of numbers in separate columns and
+never mixes them:
+
+* ``modeled-*`` — throughput under the memory-access cost model with the
+  max-over-partitions makespan.  This is the paper's multicore claim and
+  every assertion below is on these numbers only.
+* ``wall-Medges/s`` — measured wall-clock throughput of the run that
+  produced the deltas.  ``PartitionedStore`` applies partitions
+  *serially* (its thread path is deprecated — GIL-serialized, no
+  speedup), so this column does **not** grow with the core count; it is
+  printed to keep the distinction honest, not to support a claim.  For
+  measured process-parallel ingest speedup see
+  ``benchmarks/bench_sharded_ingest.py`` (``ShardedStore``, which
+  reproduces these same per-partition deltas bit-for-bit).
+
+Expected shapes: modeled throughput rises with core count for both
+systems; GraphTinker beats STINGER at every core count; STINGER's
+per-run degradation (first batch -> last batch) stays far worse than
 GraphTinker's at every core count (the paper's 3.4 -> 1 Medges/s
 example at 8 cores).
 """
@@ -32,8 +49,10 @@ def run_all():
             stream = stream_for("hollywood_like", n_batches=6)
             store = cls(cores)
             ms = parallel_insertion_run(store, stream)
-            series = [m.modeled_throughput(MODEL) for m in ms]
-            out[(kind, cores)] = series
+            out[(kind, cores)] = {
+                "modeled": [m.modeled_throughput(MODEL) for m in ms],
+                "wall": [m.wall_throughput for m in ms],
+            }
     return out
 
 
@@ -42,28 +61,35 @@ def test_fig10_multicore_update_throughput(benchmark):
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     table = Table(
-        "Fig. 10: update throughput vs core count (hollywood_like)",
-        ["system", "cores", "first-batch", "last-batch", "mean", "degradation"],
+        "Fig. 10: update throughput vs core count (hollywood_like) — "
+        "modeled makespan vs measured (serial) wall-clock",
+        ["system", "cores", "modeled-first", "modeled-last", "modeled-mean",
+         "modeled-degradation", "wall-Medges/s"],
     )
     means = {}
     for kind in ("graphtinker", "stinger"):
         for cores in CORES:
-            series = results[(kind, cores)]
+            series = results[(kind, cores)]["modeled"]
+            wall = results[(kind, cores)]["wall"]
             mean = sum(series) / len(series)
             means[(kind, cores)] = mean
             degradation = (series[0] - series[-1]) / series[0]
-            table.add_row([kind, cores, series[0], series[-1], mean, degradation])
+            wall_mean = sum(wall) / len(wall) / 1e6
+            table.add_row([kind, cores, series[0], series[-1], mean,
+                           degradation, wall_mean])
     emit(table)
 
     for cores in CORES:
-        # GraphTinker wins at every core count.
+        # GraphTinker wins at every core count (modeled).
         assert means[("graphtinker", cores)] > means[("stinger", cores)]
     for kind in ("graphtinker", "stinger"):
-        # More cores -> more throughput (monotone in this shared-nothing model).
+        # More cores -> more modeled throughput (monotone in this
+        # shared-nothing model).  Wall-clock is deliberately NOT asserted
+        # on: PartitionedStore executes partitions serially.
         assert means[(kind, 8)] > means[(kind, 1)]
     # STINGER deteriorates across batches much faster than GraphTinker at 8 cores.
-    st8 = results[("stinger", 8)]
-    gt8 = results[("graphtinker", 8)]
+    st8 = results[("stinger", 8)]["modeled"]
+    gt8 = results[("graphtinker", 8)]["modeled"]
     st_deg = (st8[0] - st8[-1]) / st8[0]
     gt_deg = (gt8[0] - gt8[-1]) / gt8[0]
     assert st_deg > gt_deg

@@ -128,7 +128,13 @@ def cmd_load(args) -> int:
         "systems": [],
     }
     for kind in args.systems:
-        store = make_store(kind, kernel=args.kernel)
+        sharded_config = None
+        if kind == "sharded":
+            from repro.core.config import ShardedConfig
+
+            sharded_config = ShardedConfig(n_shards=max(1, args.shards))
+        store = make_store(kind, kernel=args.kernel,
+                           sharded_config=sharded_config)
         ms = insertion_run(store, EdgeStream(edges, stream.batch_size))
         log.info(kv("insertion run finished", system=kind,
                     edges=store.n_edges,
@@ -136,15 +142,21 @@ def cmd_load(args) -> int:
         table.add_row([kind] + [m.modeled_throughput(MODEL) for m in ms])
         report["systems"].append({
             "system": kind,
-            "kernel": None if kind in ("stinger", "tiered") else args.kernel,
+            "kernel": None if kind in ("stinger", "tiered", "sharded")
+            else args.kernel,
+            "shards": args.shards if kind == "sharded" else None,
             "modeled_throughput": [m.modeled_throughput(MODEL) for m in ms],
             "wall_seconds": [m.wall_seconds for m in ms],
             "final_edges": int(store.n_edges),
             "block_accesses": int(store.stats.total_block_accesses),
             # Canonical content digest: every backend loading the same
-            # stream must agree here (CI diffs tiered against graphtinker).
+            # stream must agree here (CI diffs tiered against graphtinker,
+            # and a 4-shard load against a 1-shard one).
             "digest": store_digest(store),
         })
+        closer = getattr(store, "close", None)
+        if closer is not None:
+            closer()
     table.print()
     if args.json:
         import json
@@ -332,7 +344,17 @@ def cmd_serve(args) -> int:
             fail_every=args.fail_every, fail_times=args.fail_times,
             hard=args.hard_faults)
     config = None
-    if args.system is not None:
+    if args.shards > 1 or args.system == "sharded":
+        from repro.core.config import ShardedConfig
+
+        inner = (args.system if args.system not in (None, "sharded")
+                 else "graphtinker")
+        config = ShardedConfig(n_shards=max(1, args.shards), backend=inner)
+        if injector is not None:
+            raise WorkloadError(
+                "--kill-at/--fail-every inject into the plain WAL; they "
+                "are not supported with --shards (per-shard logs)")
+    elif args.system is not None:
         from repro.core.config import GTConfig, StingerConfig, TieredConfig
 
         config = {"graphtinker": GTConfig, "stinger": StingerConfig,
@@ -420,8 +442,14 @@ def cmd_serve_net(args) -> int:
         print(f"serving ephemeral state in {data_dir}")
     else:
         data_dir = Path(args.data_dir)
+    config = None
+    if args.shards > 1:
+        from repro.core.config import ShardedConfig
+
+        config = ShardedConfig(n_shards=args.shards)
     service, rec = GraphService.open(
         data_dir,
+        config=config,
         batch_edges=args.batch_size,
         flush_interval=args.flush_interval,
         sync=args.sync,
@@ -912,10 +940,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batches", type=int, default=6)
     p.add_argument("--systems", nargs="+", default=["graphtinker", "stinger"],
                    choices=["graphtinker", "gt_nocal", "gt_nosgh", "gt_plain",
-                            "stinger", "tiered"])
+                            "stinger", "tiered", "sharded"])
     p.add_argument("--kernel", default="vector", choices=["vector", "scalar"],
                    help="batch-ingest kernel for the GraphTinker systems "
                         "(bit-identical results; wall-clock only)")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="worker processes for the 'sharded' system "
+                        "(digest is shard-count invariant)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write per-system throughput (modeled + wall) "
                         "and the kernel used as JSON")
@@ -929,7 +960,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="hybrid",
                    choices=["hybrid", "full", "incremental", "full_vc"])
     p.add_argument("--system", default="graphtinker",
-                   choices=["graphtinker", "stinger", "tiered"])
+                   choices=["graphtinker", "stinger", "tiered", "sharded"])
     p.add_argument("--snapshot", action="store_true",
                    help="attach the CSR analytics snapshot (bit-identical "
                         "results and modeled costs; wall-clock only)")
@@ -965,9 +996,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data-dir", required=True,
                    help="service directory (WAL segments + checkpoints)")
     p.add_argument("--system", default=None,
-                   choices=["graphtinker", "stinger", "tiered"],
+                   choices=["graphtinker", "stinger", "tiered", "sharded"],
                    help="backing store (default: the checkpoint's writer "
                         "backend on --resume, else graphtinker)")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="shard worker processes; N > 1 serves through the "
+                        "sharded store with per-shard WAL segments "
+                        "(--system then selects the per-shard backend)")
     p.add_argument("--scale", type=int, default=10, help="RMAT scale")
     p.add_argument("--edges", type=int, default=20_000,
                    help="total input rows in the stream")
@@ -1019,6 +1054,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="TCP port (0 = ephemeral)")
     p.add_argument("--port-file", default=None, metavar="PATH",
                    help="write the bound port here once listening")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="serve through the process-per-shard store with "
+                        "per-shard WAL segments (1 = plain store)")
     p.add_argument("--duration", type=float, default=0.0,
                    help="serve for this many seconds (0 = forever)")
     p.add_argument("--batch-size", type=int, default=2048,

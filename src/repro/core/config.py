@@ -231,6 +231,56 @@ class TieredConfig:
         return replace(self, **changes)
 
 
+#: Process-per-shard store defaults.  Two shards keep the conformance
+#: suite cheap while still exercising cross-shard routing; production
+#: runs size ``n_shards`` to the core count.
+DEFAULT_SHARDS = 2
+
+
+@dataclass(frozen=True)
+class ShardedConfig:
+    """Configuration of the process-per-shard
+    :class:`~repro.core.sharded.ShardedStore`.
+
+    Parameters
+    ----------
+    n_shards:
+        Worker-process count.  Each shard owns the vertices that
+        consistent-hash to it (``repro.core.hashing.partition_of``) and
+        runs a full Store-protocol backend of its own.
+    backend:
+        Registry name of the per-shard backend
+        (:func:`repro.core.store.create_store`); any registered backend
+        other than ``"sharded"`` itself is legal.
+    seed:
+        Seed of the consistent-hash router.  Two sharded stores agree on
+        vertex placement iff their seeds agree.
+    snapshot:
+        Attach the CSR analytics snapshot at construction — the same
+        charge-mirror contract as on :class:`GTConfig`.
+
+    All fields are JSON primitives so checkpoints can embed the config
+    verbatim (see :mod:`repro.workloads.persistence`).
+    """
+
+    n_shards: int = DEFAULT_SHARDS
+    backend: str = "graphtinker"
+    seed: int = 0
+    snapshot: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.backend == "sharded":
+            raise ConfigError("sharded shards cannot nest sharded backends")
+        if not self.backend:
+            raise ConfigError("backend name must be non-empty")
+
+    def with_(self, **changes: Any) -> "ShardedConfig":
+        """Return a copy with ``changes`` applied (validation re-runs)."""
+        return replace(self, **changes)
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Hybrid graph-engine configuration (Sec. IV.B).

@@ -17,6 +17,14 @@ provided for demonstration (``examples/parallel_updates.py``); it is not
 the default in benches because process spawn/IPC overheads at our scaled
 dataset sizes would swamp the effect being measured.
 
+This class remains the *charging oracle*: its per-partition deltas define
+the modeled makespan that Fig. 10 reports, and the process-per-shard
+:class:`repro.core.sharded.ShardedStore` reproduces the identical deltas
+(same router, same per-instance streams) while actually running the
+shards on separate cores.  Use ``ShardedStore`` for measured wall-clock
+parallelism; the ``max_workers`` thread path here is deprecated (GIL-
+serialized, no speedup).
+
 The same partitioning applies verbatim to the STINGER baseline, which is
 how Fig. 10 compares the two at 1-8 cores.
 """
@@ -49,13 +57,17 @@ class PartitionedStore:
     seed:
         Seed of the interval hash.
     max_workers:
-        When set (> 1), sub-batches are applied concurrently on a
-        :class:`~concurrent.futures.ThreadPoolExecutor` — sound because
-        the instances share no state, exactly the paper's no-cross-traffic
-        premise.  ``None`` (the default) keeps the serial path.  Results
-        are merged in partition order either way, so per-partition deltas,
-        merged stats, and every store's contents are identical between
-        serial and threaded runs.
+        **Deprecated.** When set (> 1), sub-batches are applied on a
+        :class:`~concurrent.futures.ThreadPoolExecutor`.  That is
+        *correct* (the instances share no state, so per-partition
+        deltas, merged stats, and every store's contents are identical
+        between serial and threaded runs) but it is **not parallel**:
+        the instances run pure-Python/NumPy insert paths under the GIL,
+        so the threads execute one at a time and wall-clock matches the
+        serial path.  The modeled max-over-partitions makespan is the
+        honest multicore number here; for *measured* wall-clock speedup
+        use :class:`repro.core.sharded.ShardedStore`, whose shards are
+        worker processes.  ``None`` (the default) keeps the serial path.
     """
 
     def __init__(self, n_partitions: int, factory: Callable[[], object], seed: int = 0,
@@ -64,6 +76,15 @@ class PartitionedStore:
             raise ConfigError("n_partitions must be positive")
         if max_workers is not None and max_workers <= 0:
             raise ConfigError("max_workers must be positive when given")
+        if max_workers is not None and max_workers > 1:
+            import warnings
+
+            warnings.warn(
+                "PartitionedStore(max_workers=...) threads are serialized "
+                "by the GIL and yield no wall-clock speedup; use "
+                "repro.core.sharded.ShardedStore (process-per-shard) for "
+                "measured parallelism",
+                DeprecationWarning, stacklevel=2)
         self.n_partitions = n_partitions
         self.seed = seed
         self.max_workers = max_workers

@@ -82,7 +82,12 @@ from typing import Any, Callable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.core.config import GTConfig, StingerConfig, TieredConfig
+from repro.core.config import (
+    GTConfig,
+    ShardedConfig,
+    StingerConfig,
+    TieredConfig,
+)
 from repro.core.stats import AccessStats
 from repro.errors import StoreProtocolError
 
@@ -224,9 +229,11 @@ def store_from_config(config: Any | None):
     """Build the backend a config object describes (persistence/recovery).
 
     ``GTConfig`` -> GraphTinker, ``StingerConfig`` -> STINGER,
-    ``TieredConfig`` -> TieredStore; ``None`` -> paper-default
-    GraphTinker.  This is how a v2 checkpoint's embedded writer config
-    rebuilds the *same backend* it was written by.
+    ``TieredConfig`` -> TieredStore, ``ShardedConfig`` -> the
+    process-per-shard :class:`~repro.core.sharded.ShardedStore`;
+    ``None`` -> paper-default GraphTinker.  This is how a v2
+    checkpoint's embedded writer config rebuilds the *same backend* it
+    was written by.
     """
     from repro.core.graphtinker import GraphTinker
     from repro.core.tiered import TieredStore
@@ -240,6 +247,10 @@ def store_from_config(config: Any | None):
         return Stinger(config)
     if isinstance(config, TieredConfig):
         return TieredStore(config)
+    if isinstance(config, ShardedConfig):
+        from repro.core.sharded import ShardedStore
+
+        return ShardedStore(config)
     raise StoreProtocolError(
         f"no backend registered for config type {type(config).__name__}")
 
@@ -385,5 +396,16 @@ register_backend("gt_plain",
                  "GraphTinker ablation: both CAL and SGH off")
 register_backend("stinger", _stinger_factory,
                  "the STINGER chained-edgeblock baseline")
+def _sharded_factory(config=None, *, kernel=None, snapshot=None):
+    from repro.core.sharded import ShardedStore
+
+    cfg = config if config is not None else ShardedConfig()
+    if snapshot is not None:
+        cfg = cfg.with_(snapshot=snapshot)
+    return ShardedStore(cfg)
+
+
 register_backend("tiered", _tiered_factory,
                  "degree-tiered adaptive backend (inline/small-set/hash)")
+register_backend("sharded", _sharded_factory,
+                 "process-per-shard parallel store (consistent-hash routed)")

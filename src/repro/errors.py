@@ -64,6 +64,18 @@ class ServiceError(ReproError):
     """
 
 
+class ShardCrashError(ServiceError):
+    """A shard worker process of a sharded store died.
+
+    Raised when a command pipe to a worker breaks (the worker was
+    ``kill -9``-ed, OOM-killed, or crashed) or when a dispatched command
+    never gets a response.  The surviving shards' state is intact; the
+    recovery action is to discard the parent store and re-open the
+    service directory — per-shard WAL segments replay independently, so
+    only the crashed shard's tail is re-applied.
+    """
+
+
 class ShedError(ServiceError):
     """A read was shed because the ingest queue is over the shed mark.
 

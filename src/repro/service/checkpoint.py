@@ -114,10 +114,10 @@ class CheckpointManager:
         tmp = final.with_suffix(".tmp.npz")
         save_snapshot(store, tmp, meta=full_meta)
         os.replace(tmp, final)
-        self._prune(last_seq)
+        self._prune(last_seq, full_meta if "shard_seqs" in full_meta else None)
         return final
 
-    def _prune(self, last_seq: int) -> None:
+    def _prune(self, last_seq: int, sharded_meta: dict | None = None) -> None:
         checkpoints = list_checkpoints(self.directory)
         if len(checkpoints) > self.keep:
             for path in checkpoints[:-self.keep]:
@@ -126,5 +126,34 @@ class CheckpointManager:
         # WAL segments may only be dropped up to the *oldest surviving*
         # checkpoint: recovery falls back to it if a newer one turns out
         # unreadable, and needs the tail from there onward.
+        if sharded_meta is not None:
+            self._prune_sharded(sharded_meta, checkpoints[0])
+            return
         oldest = checkpoints[0].name[len(CHECKPOINT_PREFIX):-len(CHECKPOINT_SUFFIX)]
         wal_mod.prune_segments(self.directory, min(last_seq, int(oldest)))
+
+    def _prune_sharded(self, meta: dict, oldest_path: Path) -> None:
+        """Prune each shard's chain against the oldest survivor's cursors.
+
+        Each shard has its own sequence space, so the prune bound is per
+        shard: ``min(cursor now, cursor in the oldest surviving
+        checkpoint)``.  An oldest survivor without shard cursors (the
+        plain checkpoint of a directory that flipped to sharded) pins
+        every shard bound at 0 — nothing sharded can be dropped until it
+        ages out.  Plain-prefix history is never pruned past its final
+        segment, keeping the base cursor recoverable from disk.
+        """
+        try:
+            oldest_meta = load_checkpoint(oldest_path).snapshot.meta or {}
+        except ServiceError:
+            return
+        oldest_seqs = oldest_meta.get("shard_seqs")
+        now_seqs = meta["shard_seqs"]
+        if oldest_seqs is None or len(oldest_seqs) != len(now_seqs):
+            oldest_seqs = [0] * len(now_seqs)
+        for k, (now, old) in enumerate(zip(now_seqs, oldest_seqs)):
+            wal_mod.prune_segments(self.directory, min(int(now), int(old)),
+                                   prefix=wal_mod.shard_prefix(k))
+        base = int(min(meta.get("base_seq", 0),
+                       oldest_meta.get("base_seq", meta.get("base_seq", 0))))
+        wal_mod.prune_segments(self.directory, base)

@@ -16,6 +16,13 @@ The protocol (docs/service.md has the full diagram):
    two WAL records — raises :class:`~repro.errors.ServiceError`; the
    missing updates cannot be reconstructed.
 
+A sharded directory (``wal-shard<k>-*.seg`` chains and/or per-shard
+cursors in the checkpoint meta) takes the sharded path instead: each
+shard's chain is scanned independently against its own skip cursor, and
+the pending records are applied in rounds whose rows scatter to the
+shard workers concurrently — per-shard replay is independent and
+parallel (docs/sharding.md).
+
 Everything is observable through ``service.recovery.*`` metrics
 (replayed/skipped record and edge counts, the checkpoint sequence, torn
 truncations) and a ``service.recovery`` span when :mod:`repro.obs` is
@@ -24,10 +31,14 @@ enabled.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
+import numpy as np
+
 import repro.obs as obs
+from repro.core.config import ShardedConfig
 from repro.core.store import store_from_config
 from repro.errors import ServiceError
 from repro.obs import hooks as obs_hooks
@@ -49,6 +60,8 @@ class RecoveryResult:
     skipped_records: int = 0
     torn_offset: int | None = None
     replayed_seqs: list[int] = field(default_factory=list)
+    #: Shard count of a sharded recovery (0 for a plain directory).
+    n_shards: int = 0
     #: Post-recovery fsck outcome (a ``repro.core.verify.VerifyReport``),
     #: or ``None`` when verification was disabled.  Never raises: a CRC
     #: check can only vouch for the *bytes* of a checkpoint, so recovery
@@ -80,6 +93,150 @@ def _publish(result: RecoveryResult) -> None:
     if result.fsck is not None:
         registry.gauge("service.recovery.fsck_violations").set(
             len(result.fsck.violations))
+
+
+_SHARD_SEGMENT_RE = re.compile(
+    rf"^{wal_mod.SEGMENT_PREFIX}shard(\d+)-\d+{re.escape(wal_mod.SEGMENT_SUFFIX)}$"
+)
+
+
+def _detect_shard_count(directory: Path) -> int:
+    """Highest shard index + 1 among on-disk per-shard segments (0 if none).
+
+    A shard whose log never rotated past zero appends leaves no file, so
+    the disk count is a lower bound — the checkpoint meta / config count
+    takes precedence when larger.
+    """
+    n = 0
+    for p in directory.iterdir():
+        m = _SHARD_SEGMENT_RE.match(p.name)
+        if m:
+            n = max(n, int(m.group(1)) + 1)
+    return n
+
+
+def _shard_count(directory: Path, config, checkpoint) -> int:
+    """Shard count to recover with (0 = plain, unsharded directory)."""
+    meta = (checkpoint.snapshot.meta or {}) if checkpoint else {}
+    n = 0
+    if "shard_seqs" in meta:
+        n = int(meta.get("n_shards", len(meta["shard_seqs"])))
+    if isinstance(config, ShardedConfig):
+        n = max(n, config.n_shards)
+    return max(n, _detect_shard_count(directory))
+
+
+def _replay_sharded(directory: Path, store, checkpoint,
+                    result: RecoveryResult, n_shards: int) -> None:
+    """Replay the per-shard WAL chains (plus any plain-prefix history).
+
+    Each shard's chain is scanned independently (own contiguous sequence
+    space, own skip cursor from the checkpoint meta, own torn-tail
+    truncation), then the pending records are applied in *rounds*: round
+    ``r`` takes every shard's ``r``-th pending record and scatters the
+    same-op rows through one store batch.  Interval partitioning makes
+    the chains' key spaces disjoint, so records from different chains
+    commute — within a round the shard workers apply their rows
+    concurrently, which is what makes sharded replay parallel rather
+    than a serialized merge.
+    """
+    meta = (checkpoint.snapshot.meta or {}) if checkpoint else {}
+    if checkpoint is None:
+        base_cursor, base_cum = 0, 0
+        shard_cursors = [0] * n_shards
+        shard_cum = [0] * n_shards
+    elif "shard_seqs" in meta:
+        if len(meta["shard_seqs"]) != n_shards:
+            raise ServiceError(
+                f"{directory}: checkpoint was taken with "
+                f"{len(meta['shard_seqs'])} shards but recovery sees "
+                f"{n_shards} — resharding an existing directory is not "
+                f"supported (reload the data instead)"
+            )
+        base_cursor = int(meta.get("base_seq", 0))
+        base_cum = int(meta.get("base_cum", 0))
+        shard_cursors = [int(s) for s in meta["shard_seqs"]]
+        shard_cum = [int(c) for c in meta.get("shard_cum", [0] * n_shards)]
+    else:
+        # A plain checkpoint in a directory that later went sharded: the
+        # snapshot covers exactly the plain-prefix records.
+        base_cursor, base_cum = checkpoint.last_seq, checkpoint.cum_edges
+        shard_cursors = [0] * n_shards
+        shard_cum = [0] * n_shards
+
+    # Plain-prefix history first: it predates every sharded record (a
+    # directory flips to sharded at most once, and nothing appends to
+    # the plain chain afterwards).
+    base_last = base_cursor
+    for record in wal_mod.iter_records(directory):
+        if record.seq <= base_cursor:
+            result.skipped_records += 1
+            continue
+        if record.seq != base_last + 1:
+            raise ServiceError(
+                f"{directory}: WAL sequence gap — store is at {base_last} "
+                f"but the next surviving record is {record.seq}; updates "
+                f"in between are lost"
+            )
+        if record.op == wal_mod.OP_INSERT:
+            store.insert_batch(record.edges, record.weights)
+        else:
+            store.delete_batch(record.edges)
+        base_last = record.seq
+        base_cum = record.cum_edges
+        result.replayed_records += 1
+        result.replayed_edges += record.n_edges
+
+    pending: list[list] = []
+    for k in range(n_shards):
+        prefix = wal_mod.shard_prefix(k)
+        wal_mod.truncate_torn_tail(directory, prefix=prefix)
+        records = []
+        for record in wal_mod.iter_records(directory, prefix=prefix):
+            if record.seq <= shard_cursors[k]:
+                result.skipped_records += 1
+                continue
+            expect = (records[-1].seq if records else shard_cursors[k]) + 1
+            if record.seq != expect:
+                raise ServiceError(
+                    f"{directory}: WAL sequence gap in shard {k} — shard "
+                    f"is at {expect - 1} but the next surviving record is "
+                    f"{record.seq}; updates in between are lost"
+                )
+            records.append(record)
+        pending.append(records)
+
+    cursors = [0] * n_shards
+    while True:
+        insert_edges, insert_weights, delete_edges = [], [], []
+        progressed = False
+        for k in range(n_shards):
+            if cursors[k] >= len(pending[k]):
+                continue
+            record = pending[k][cursors[k]]
+            cursors[k] += 1
+            progressed = True
+            if record.op == wal_mod.OP_INSERT:
+                insert_edges.append(record.edges)
+                insert_weights.append(record.weights)
+            else:
+                delete_edges.append(record.edges)
+            shard_cursors[k] = record.seq
+            shard_cum[k] = record.cum_edges
+            result.replayed_records += 1
+            result.replayed_edges += record.n_edges
+        if not progressed:
+            break
+        if insert_edges:
+            store.insert_batch(np.concatenate(insert_edges),
+                               np.concatenate(insert_weights))
+        if delete_edges:
+            store.delete_batch(np.concatenate(delete_edges))
+        result.replayed_seqs.append(base_last + sum(shard_cursors))
+
+    result.last_seq = base_last + sum(shard_cursors)
+    result.cum_edges = base_cum + sum(shard_cum)
+    result.n_shards = n_shards
 
 
 def recover(directory: str | Path, config=None,
@@ -125,25 +282,29 @@ def recover(directory: str | Path, config=None,
             checkpoint_path=checkpoint.path if checkpoint else None,
             torn_offset=torn_offset,
         )
-        for record in wal_mod.iter_records(directory):
-            if record.seq <= result.checkpoint_seq:
-                result.skipped_records += 1
-                continue
-            if record.seq != result.last_seq + 1:
-                raise ServiceError(
-                    f"{directory}: WAL sequence gap — store is at "
-                    f"{result.last_seq} but the next surviving record is "
-                    f"{record.seq}; updates in between are lost"
-                )
-            if record.op == wal_mod.OP_INSERT:
-                store.insert_batch(record.edges, record.weights)
-            else:
-                store.delete_batch(record.edges)
-            result.last_seq = record.seq
-            result.cum_edges = record.cum_edges
-            result.replayed_records += 1
-            result.replayed_edges += record.n_edges
-            result.replayed_seqs.append(record.seq)
+        n_shards = _shard_count(directory, config, checkpoint)
+        if n_shards:
+            _replay_sharded(directory, store, checkpoint, result, n_shards)
+        else:
+            for record in wal_mod.iter_records(directory):
+                if record.seq <= result.checkpoint_seq:
+                    result.skipped_records += 1
+                    continue
+                if record.seq != result.last_seq + 1:
+                    raise ServiceError(
+                        f"{directory}: WAL sequence gap — store is at "
+                        f"{result.last_seq} but the next surviving record is "
+                        f"{record.seq}; updates in between are lost"
+                    )
+                if record.op == wal_mod.OP_INSERT:
+                    store.insert_batch(record.edges, record.weights)
+                else:
+                    store.delete_batch(record.edges)
+                result.last_seq = record.seq
+                result.cum_edges = record.cum_edges
+                result.replayed_records += 1
+                result.replayed_edges += record.n_edges
+                result.replayed_seqs.append(record.seq)
         if verify is not None:
             result.fsck = store.fsck(level=verify)
             span.set_attr("fsck_violations", len(result.fsck.violations))
@@ -160,6 +321,7 @@ def recover(directory: str | Path, config=None,
         "replayed_records": result.replayed_records,
         "replayed_edges": result.replayed_edges,
         "skipped_records": result.skipped_records,
+        "n_shards": result.n_shards,
         "torn_truncated": result.torn_offset is not None,
         "fsck_violations": (len(result.fsck.violations)
                             if result.fsck is not None else None),

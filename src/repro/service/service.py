@@ -39,6 +39,7 @@ from pathlib import Path
 import numpy as np
 
 import repro.obs as obs
+from repro.core.config import ShardedConfig
 from repro.core.store import apply_kernel, store_from_config
 from repro.errors import (
     BreakerOpenError,
@@ -55,6 +56,7 @@ from repro.service.wal import (
     DEFAULT_SEGMENT_BYTES,
     OP_DELETE,
     OP_INSERT,
+    ShardedWriteAheadLog,
     WriteAheadLog,
 )
 
@@ -160,8 +162,19 @@ class GraphService:
         # produce bit-identical store state and stats.  Backends without a
         # kernel knob (STINGER, tiered) keep their single implementation.
         apply_kernel(self._store, kernel)
+        store_config = getattr(self._store, "config", None)
+        sharded = isinstance(store_config, ShardedConfig)
         if wal is not None:
             self._wal = wal
+        elif sharded:
+            if injector is not None:
+                raise ServiceError(
+                    "WAL fault injection is not supported with a sharded "
+                    "store (per-shard logs; inject into a plain backend)")
+            self._wal = ShardedWriteAheadLog(
+                self.directory, store_config.n_shards,
+                seed=store_config.seed, segment_bytes=segment_bytes,
+                sync=sync, min_last_seq=applied_seq, min_cum_edges=cum_edges)
         elif injector is not None:
             from repro.service.faults import (
                 FaultyWriteAheadLog,
@@ -687,7 +700,9 @@ class GraphService:
         with self._store_lock:
             with self._cond:
                 seq, cum = self._applied_seq, self._cum_edges
-            path = self._ckpt.write(self._store, seq, cum)
+            meta_fn = getattr(self._wal, "checkpoint_meta", None)
+            path = self._ckpt.write(self._store, seq, cum,
+                                    meta=meta_fn() if meta_fn else None)
             self._last_ckpt_seq = seq
             self._last_ckpt_at = time.monotonic()
         if obs_hooks.enabled:

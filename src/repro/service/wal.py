@@ -12,6 +12,11 @@ A WAL directory holds numbered segment files::
     wal-00000000000000000001.seg      <- first record is sequence 1
     wal-00000000000000000042.seg      <- rotated; first record is seq 42
 
+A sharded service (``--shards N``) keeps one independent chain per
+shard in the same directory, ``wal-shard<k>-<seq>.seg``, managed by
+:class:`ShardedWriteAheadLog`; each chain has its own contiguous
+sequence space and replays independently on recovery (docs/sharding.md).
+
 Each segment starts with an 8-byte magic (``GTWAL001``) followed by
 back-to-back records.  A record is a fixed header plus a payload::
 
@@ -92,20 +97,37 @@ class WalRecord:
         return int(self.edges.shape[0])
 
 
-def segment_path(directory: Path, first_seq: int) -> Path:
-    return directory / f"{SEGMENT_PREFIX}{first_seq:020d}{SEGMENT_SUFFIX}"
+def shard_prefix(shard: int) -> str:
+    """Segment-name prefix of one shard's log (``wal-shard<k>-``).
+
+    A sharded service keeps one independent WAL per shard in the same
+    directory; the per-shard prefixes and the plain ``wal-`` prefix never
+    collide because the plain lister requires an all-digit stem.
+    """
+    return f"{SEGMENT_PREFIX}shard{shard}-"
 
 
-def list_segments(directory: str | Path) -> list[Path]:
-    """Segment files in ``directory``, ordered by first sequence number."""
+def segment_path(directory: Path, first_seq: int,
+                 prefix: str = SEGMENT_PREFIX) -> Path:
+    return directory / f"{prefix}{first_seq:020d}{SEGMENT_SUFFIX}"
+
+
+def list_segments(directory: str | Path,
+                  prefix: str = SEGMENT_PREFIX) -> list[Path]:
+    """Segment files in ``directory``, ordered by first sequence number.
+
+    Only files whose name is exactly ``<prefix><digits><suffix>`` match,
+    so the plain prefix never picks up per-shard segments (their stems
+    start with ``shard<k>-``) and vice versa.
+    """
     directory = Path(directory)
     if not directory.is_dir():
         return []
     out = []
     for p in directory.iterdir():
         name = p.name
-        if name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX):
-            stem = name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+        if name.startswith(prefix) and name.endswith(SEGMENT_SUFFIX):
+            stem = name[len(prefix):-len(SEGMENT_SUFFIX)]
             if stem.isdigit():
                 out.append((int(stem), p))
     return [p for _, p in sorted(out)]
@@ -196,14 +218,14 @@ def scan_segment(path: str | Path, tolerate_torn_tail: bool = False,
 
 
 def iter_records(directory: str | Path, tolerate_torn_tail: bool = True,
-                 ) -> Iterator[WalRecord]:
+                 prefix: str = SEGMENT_PREFIX) -> Iterator[WalRecord]:
     """Yield every record across all segments in sequence order.
 
     Enforces contiguous sequence numbering across records; a gap raises
     :class:`ServiceError`.  A torn tail in the **last** segment is
     dropped (when tolerated); torn data anywhere else is corruption.
     """
-    segments = list_segments(directory)
+    segments = list_segments(directory, prefix=prefix)
     last_seq: int | None = None
     for i, path in enumerate(segments):
         is_last = i == len(segments) - 1
@@ -219,14 +241,15 @@ def iter_records(directory: str | Path, tolerate_torn_tail: bool = True,
             yield rec
 
 
-def truncate_torn_tail(directory: str | Path) -> int | None:
+def truncate_torn_tail(directory: str | Path,
+                       prefix: str = SEGMENT_PREFIX) -> int | None:
     """Physically drop a torn final record from the last segment.
 
     Returns the truncation byte offset, or ``None`` if the tail was
     clean.  Makes recovery idempotent on disk: a second scan sees a
     clean log.
     """
-    segments = list_segments(directory)
+    segments = list_segments(directory, prefix=prefix)
     if not segments:
         return None
     last = segments[-1]
@@ -256,7 +279,8 @@ class WriteAheadLog:
                  segment_bytes: int = DEFAULT_SEGMENT_BYTES,
                  sync: str = "batch",
                  min_last_seq: int = 0,
-                 min_cum_edges: int = 0):
+                 min_cum_edges: int = 0,
+                 prefix: str = SEGMENT_PREFIX):
         if sync not in SYNC_POLICIES:
             raise ServiceError(
                 f"unknown WAL sync policy {sync!r} (choose from {SYNC_POLICIES})")
@@ -266,6 +290,7 @@ class WriteAheadLog:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.segment_bytes = segment_bytes
         self.sync_policy = sync
+        self.prefix = prefix
         self._file = None
         self._segment_size = 0
         self.last_seq = 0
@@ -274,8 +299,8 @@ class WriteAheadLog:
         # A writer must not leave torn bytes mid-log: once we append a new
         # segment after them, the tear would no longer be "the tail" and
         # readers would (rightly) call it corruption.
-        truncate_torn_tail(self.directory)
-        for rec in iter_records(self.directory):
+        truncate_torn_tail(self.directory, prefix=prefix)
+        for rec in iter_records(self.directory, prefix=prefix):
             self.last_seq = rec.seq
             self.cum_edges = rec.cum_edges
         # A checkpoint may have pruned the whole log away; the cursor the
@@ -297,7 +322,7 @@ class WriteAheadLog:
         return get_registry()
 
     def _open_segment(self) -> None:
-        path = segment_path(self.directory, self.next_seq)
+        path = segment_path(self.directory, self.next_seq, prefix=self.prefix)
         self._file = open(path, "ab")
         if self._file.tell() == 0:
             self._file.write(SEGMENT_MAGIC)
@@ -399,7 +424,8 @@ class WriteAheadLog:
         self.close()
 
 
-def prune_segments(directory: str | Path, upto_seq: int) -> list[Path]:
+def prune_segments(directory: str | Path, upto_seq: int,
+                   prefix: str = SEGMENT_PREFIX) -> list[Path]:
     """Delete segments made obsolete by a checkpoint at ``upto_seq``.
 
     A segment is obsolete when every record in it has ``seq <= upto_seq``
@@ -407,13 +433,165 @@ def prune_segments(directory: str | Path, upto_seq: int) -> list[Path]:
     ``<= upto_seq + 1``.  The last segment is always kept (it is the
     active append target).  Returns the deleted paths.
     """
-    segments = list_segments(directory)
+    segments = list_segments(directory, prefix=prefix)
     deleted: list[Path] = []
     for path, nxt in zip(segments, segments[1:]):
-        first_of_next = int(nxt.name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)])
+        first_of_next = int(nxt.name[len(prefix):-len(SEGMENT_SUFFIX)])
         if first_of_next <= upto_seq + 1:
             path.unlink()
             deleted.append(path)
         else:
             break
     return deleted
+
+
+class ShardedWriteAheadLog:
+    """K independent per-shard WALs behind the single-writer interface.
+
+    A sharded service routes every edge row to the shard its ``src``
+    hashes to (:func:`repro.core.hashing.partition_of_array`, the same
+    router :class:`repro.core.sharded.ShardedStore` uses), and logs each
+    shard's rows in that shard's own segment chain
+    (``wal-shard<k>-<seq>.seg``).  Each inner log keeps its own
+    contiguous sequence space, so on recovery the K chains replay
+    independently — and, because interval partitioning makes their key
+    spaces disjoint, in parallel.
+
+    The cursor the service tracks stays a single scalar: the *global*
+    sequence is ``base_seq + sum_k shard_last_seq_k``, where ``base_seq``
+    covers any plain-prefix (unsharded) history the directory carried
+    before sharding — every append advances exactly one inner sequence
+    per shard it touches, so the sum is monotonic and crash-recoverable
+    from the segment chains alone.  ``cum_edges`` sums the same way and
+    keeps its stream-resume meaning (rows are partitioned disjointly).
+
+    :meth:`checkpoint_meta` exposes the per-shard cursors; the checkpoint
+    manager embeds them so recovery can skip each shard's already-
+    snapshotted records independently and pruning can drop each shard's
+    obsolete segments.
+    """
+
+    def __init__(self, directory: str | Path, n_shards: int, *,
+                 seed: int = 0,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 sync: str = "batch",
+                 min_last_seq: int = 0,
+                 min_cum_edges: int = 0):
+        if n_shards < 1:
+            raise ServiceError("n_shards must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.n_shards = n_shards
+        self.seed = seed
+        self.sync_policy = sync
+        # Plain-prefix history: a directory that started life unsharded
+        # keeps its old records under the plain prefix (nothing appends
+        # there once sharded, and pruning always retains the last
+        # segment, so the base cursor is recoverable from disk).
+        truncate_torn_tail(self.directory)
+        self.base_seq = 0
+        self.base_cum = 0
+        for rec in iter_records(self.directory):
+            self.base_seq = rec.seq
+            self.base_cum = rec.cum_edges
+        self.shards = [
+            WriteAheadLog(self.directory, segment_bytes=segment_bytes,
+                          sync=sync, prefix=shard_prefix(k))
+            for k in range(n_shards)
+        ]
+        # A checkpoint may have pruned everything; the recovered cursor
+        # still rules numbering (same contract as the plain log).
+        if min_last_seq > self.last_seq:
+            self.base_seq += min_last_seq - self.last_seq
+            self.base_cum = max(min_cum_edges, self.cum_edges) - sum(
+                log.cum_edges for log in self.shards)
+        # Retry bookkeeping: which shards already landed the record that
+        # a transient OSError interrupted (see append()).
+        self._resume: tuple[tuple, set[int]] | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def last_seq(self) -> int:
+        return self.base_seq + sum(log.last_seq for log in self.shards)
+
+    @property
+    def cum_edges(self) -> int:
+        return self.base_cum + sum(log.cum_edges for log in self.shards)
+
+    @property
+    def n_rotations(self) -> int:
+        return sum(log.n_rotations for log in self.shards)
+
+    def checkpoint_meta(self) -> dict:
+        """Per-shard cursors for embedding in a checkpoint header."""
+        return {
+            "n_shards": self.n_shards,
+            "shard_seed": self.seed,
+            "shard_seqs": [log.last_seq for log in self.shards],
+            "shard_cum": [log.cum_edges for log in self.shards],
+            "base_seq": self.base_seq,
+            "base_cum": self.base_cum,
+        }
+
+    def append(self, op: int, edges: np.ndarray,
+               weights: np.ndarray | None = None) -> int:
+        """Route one record's rows to their shards; append per shard.
+
+        Returns the global sequence after the append (the durability
+        cursor a ticket resolves with).  Each owning shard gets exactly
+        one record holding its rows in stream order; shards that own no
+        rows are untouched.
+
+        A transient ``OSError`` can interrupt the loop after some shards
+        already landed their sub-record; those records are durable and
+        cannot be rolled back.  The log remembers which shards succeeded
+        and a *retry of the identical append* (the service's per-append
+        retry loop) skips them, so retries never duplicate rows.  A batch
+        abandoned mid-append (no retry, e.g. breaker trip) stays
+        partially logged — replay then applies only the landed shards'
+        rows, which is the documented cross-shard non-atomicity
+        (``docs/sharding.md``); the ticket never resolved, so no
+        durability promise is broken.
+        """
+        from repro.core.hashing import partition_of_array
+
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ServiceError("WAL records hold (n, 2) edge arrays")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+        token = (op, edges.shape[0], zlib.crc32(edges.tobytes()))
+        done: set[int] = set()
+        if self._resume is not None and self._resume[0] == token:
+            done = self._resume[1]
+        shard_ids = partition_of_array(edges[:, 0], self.n_shards, self.seed)
+        try:
+            for k in range(self.n_shards):
+                if k in done:
+                    continue
+                mask = shard_ids == k
+                if not mask.any():
+                    continue
+                self.shards[k].append(
+                    op, edges[mask],
+                    weights[mask] if weights is not None else None)
+                done.add(k)
+        except OSError:
+            self._resume = (token, done)
+            raise
+        self._resume = None
+        return self.last_seq
+
+    def sync(self) -> None:
+        for log in self.shards:
+            log.sync()
+
+    def close(self) -> None:
+        for log in self.shards:
+            log.close()
+
+    def __enter__(self) -> "ShardedWriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

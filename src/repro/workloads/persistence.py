@@ -27,7 +27,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.config import GTConfig, StingerConfig, TieredConfig
+from repro.core.config import (
+    GTConfig,
+    ShardedConfig,
+    StingerConfig,
+    TieredConfig,
+)
 from repro.core.graphtinker import GraphTinker
 from repro.errors import WorkloadError
 
@@ -37,7 +42,8 @@ _FORMAT_V2 = "repro-graph-snapshot-v2"
 _FORMAT = _FORMAT_V2  # what save_snapshot writes
 
 _CONFIG_CLASSES = {"GTConfig": GTConfig, "StingerConfig": StingerConfig,
-                   "TieredConfig": TieredConfig}
+                   "TieredConfig": TieredConfig,
+                   "ShardedConfig": ShardedConfig}
 
 
 @dataclass

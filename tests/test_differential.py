@@ -1,14 +1,17 @@
-"""Randomized differential oracle: five implementations, one truth.
+"""Randomized differential oracle: six implementations, one truth.
 
 Each case replays one seeded operation stream — duplicate-heavy inserts,
 deletes (including misses and double-deletes), and self-loop bursts —
-through five systems in lockstep:
+through six systems in lockstep:
 
 * GraphTinker with the **scalar** kernel,
 * GraphTinker with the **vector** kernel,
 * the STINGER baseline,
 * the degree-tiered :class:`~repro.core.tiered.TieredStore` (small
   thresholds, so the stream forces promotions and demotions),
+* the process-per-shard :class:`~repro.core.sharded.ShardedStore`
+  (3 worker processes, so every stream scatters across shard
+  boundaries and merges back through the pipes),
 * the dict-of-dicts :class:`~tests.reference.ReferenceGraph`.
 
 After every operation the batch return values must agree, and probe
@@ -31,8 +34,9 @@ import numpy as np
 import pytest
 
 import repro.obs as obs
-from repro.core.config import GTConfig, StingerConfig, TieredConfig
+from repro.core.config import GTConfig, ShardedConfig, StingerConfig, TieredConfig
 from repro.core.graphtinker import GraphTinker
+from repro.core.sharded import ShardedStore
 from repro.core.store import store_digest
 from repro.core.tiered import TIER_INLINE, TIER_LARGE, TieredStore
 from repro.engine.algorithms import BFS, SSSP, ConnectedComponents
@@ -72,6 +76,22 @@ SEEDS = [2, 23, 4242]
 
 N_VERTICES = 120
 N_SEGMENTS = 5
+
+
+@pytest.fixture
+def sharded_factory():
+    """Build :class:`ShardedStore` instances and close them (killing the
+    worker processes) at teardown, pass or fail."""
+    stores: list[ShardedStore] = []
+
+    def make(**kwargs) -> ShardedStore:
+        store = ShardedStore(ShardedConfig(**kwargs))
+        stores.append(store)
+        return store
+
+    yield make
+    for store in stores:
+        store.close()
 
 
 def make_stream(seed: int):
@@ -131,12 +151,13 @@ def _probe(systems, ref: ReferenceGraph, vertices, ctx: str) -> None:
 
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("name,cfg", CONFIGS, ids=[c[0] for c in CONFIGS])
-def test_differential(name, cfg, seed):
+def test_differential(name, cfg, seed, sharded_factory):
     systems = [
         ("gt-scalar", GraphTinker(cfg.with_(kernel="scalar"))),
         ("gt-vector", GraphTinker(cfg.with_(kernel="vector"))),
         ("stinger", Stinger(StingerConfig(edgeblock_size=4))),
         ("tiered", TieredStore(TIERED_CFG)),
+        ("sharded", sharded_factory(n_shards=3, seed=seed)),
     ]
     ref = ReferenceGraph()
 
@@ -177,6 +198,12 @@ def test_differential(name, cfg, seed):
     assert tiered.promotions >= 1, f"seed={seed}: no promotions observed"
     tiered.check_invariants()
     assert tiered.fsck(level="full").ok
+
+    # The sharded store rode the same stream through three worker
+    # processes: placement and per-shard structure must both be clean.
+    sharded = systems[4][1]
+    sharded.check_invariants()
+    assert sharded.fsck(level="full").ok, f"seed={seed}: sharded fsck"
 
 
 # --------------------------------------------------------------------- #
@@ -221,7 +248,7 @@ def make_churn_stream(seed: int):
 
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("name,cfg", CONFIGS, ids=[c[0] for c in CONFIGS])
-def test_analytics_lockstep(name, cfg, seed):
+def test_analytics_lockstep(name, cfg, seed, sharded_factory):
     systems = [
         ("gt-scalar", GraphTinker(cfg.with_(kernel="scalar"))),
         ("gt-vector", GraphTinker(cfg.with_(kernel="vector"))),
@@ -231,11 +258,15 @@ def test_analytics_lockstep(name, cfg, seed):
          Stinger(StingerConfig(edgeblock_size=4, snapshot=True))),
         ("tiered", TieredStore(TIERED_CFG)),
         ("tiered-snapshot", TieredStore(TIERED_CFG.with_(snapshot=True))),
+        ("sharded", sharded_factory(n_shards=3, seed=seed)),
+        ("sharded-snapshot",
+         sharded_factory(n_shards=3, seed=seed, snapshot=True)),
     ]
     # (off-store, on-store) pairs whose modeled stats must match exactly.
     snapshot_pairs = [("gt-vector", "gt-snapshot"),
                       ("stinger", "stinger-snapshot"),
-                      ("tiered", "tiered-snapshot")]
+                      ("tiered", "tiered-snapshot"),
+                      ("sharded", "sharded-snapshot")]
     ref = ReferenceGraph()
 
     for b, (ins, weights, dels) in enumerate(make_churn_stream(seed)):

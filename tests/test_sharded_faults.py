@@ -1,0 +1,260 @@
+"""Sharded fault injection: worker kills, targeted replay, WAL retries.
+
+The sharded service's failure story has three legs, each pinned here:
+
+* a ``kill -9``-ed shard worker surfaces as the *typed*
+  :class:`~repro.errors.ShardCrashError` (a :class:`ServiceError`) at
+  the next store operation that touches the dead pipe — never a hang,
+  never a bare ``EOFError``;
+* recovery of a crashed sharded service replays **only the crashed
+  shard's WAL tail** — the surviving shards' chains are fully covered by
+  the checkpoint cursors — and the recovered digest equals the durable
+  (uncrashed) prefix of the input stream, bit-for-bit;
+* :class:`~repro.service.wal.ShardedWriteAheadLog` survives the
+  service's verbatim append retry after a transient ``OSError``: shards
+  that already landed their sub-record are skipped, so retries never
+  duplicate rows (the resume-token mechanism).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.config import ShardedConfig
+from repro.core.graphtinker import GraphTinker
+from repro.core.hashing import partition_of_array
+from repro.core.sharded import ShardedStore
+from repro.core.store import store_digest
+from repro.errors import ReproError, ServiceError, ShardCrashError
+from repro.service import GraphService, recover
+from repro.service.wal import (
+    OP_INSERT,
+    ShardedWriteAheadLog,
+    iter_records,
+    list_segments,
+    shard_prefix,
+)
+from repro.workloads import rmat_edges
+
+N_SHARDS = 3
+SEED = 7
+CFG = ShardedConfig(n_shards=N_SHARDS, seed=SEED)
+BATCH = 200
+
+
+@pytest.fixture
+def store():
+    s = ShardedStore(CFG)
+    yield s
+    s.close()
+
+
+def _digest_of_prefix(edges: np.ndarray) -> dict:
+    ref = GraphTinker()
+    if edges.shape[0]:
+        ref.insert_batch(edges)
+    return store_digest(ref)
+
+
+# --------------------------------------------------------------------- #
+# kill -9 a worker: typed error, no hang
+# --------------------------------------------------------------------- #
+def test_killed_worker_raises_typed_error(store):
+    assert issubclass(ShardCrashError, ServiceError)
+    edges = rmat_edges(7, 600, seed=3)
+    store.insert_batch(edges)
+    victim = 1
+    os.kill(store.worker_pids[victim], signal.SIGKILL)
+    with pytest.raises(ShardCrashError):
+        store.insert_batch(rmat_edges(7, 600, seed=4))
+    # Subsequent operations against the dead shard stay typed too.
+    hit_victim = next(v for v in range(200) if store._shard_of(v) == victim)
+    with pytest.raises(ShardCrashError):
+        store.neighbors(hit_victim)
+    # close() on a store with a dead worker must not raise.
+    store.close()
+
+
+def test_killed_worker_poisons_the_whole_store(store):
+    """A crash mid-scatter leaves surviving shards' replies unread and
+    the parent caches stale, so the store must fail *every* later
+    operation with the same typed error — even ones routed to healthy
+    shards — instead of serving desynced state."""
+    edges = rmat_edges(7, 600, seed=5)
+    store.insert_batch(edges)
+    victim = 0
+    os.kill(store.worker_pids[victim], signal.SIGKILL)
+    with pytest.raises(ShardCrashError, match=r"shard 0"):
+        store.insert_batch(edges)
+    survivor_src = next(
+        int(v) for v in np.unique(edges[:, 0])
+        if store._shard_of(int(v)) != victim)
+    with pytest.raises(ShardCrashError, match=r"shard 0"):
+        store.neighbors(survivor_src)
+    with pytest.raises(ShardCrashError, match=r"shard 0"):
+        store.insert_edge(survivor_src, 1)
+    # The uncharged parent-local degree cache still answers (reads no
+    # pipe), and close() remains clean.
+    assert store.degree(survivor_src) >= 0
+
+
+# --------------------------------------------------------------------- #
+# service crash + recovery: only the crashed shard's tail replays
+# --------------------------------------------------------------------- #
+def test_recovery_replays_only_crashed_shards_tail(tmp_path):
+    edges = rmat_edges(8, 2400, seed=11)
+    service, rec = GraphService.open(tmp_path, config=CFG,
+                                     flush_interval=0.002)
+    for start in range(0, edges.shape[0], BATCH):
+        service.submit_insert(edges[start:start + BATCH]).wait(30)
+    service.checkpoint()  # every shard's cursor now covers phase A
+
+    # Phase B routes exclusively to the victim shard's vertices, so the
+    # victim's chain is the only one with records past its cursor.
+    victim = 2
+    more = rmat_edges(8, 1200, seed=12)
+    owned = more[partition_of_array(
+        more[:, 0], N_SHARDS, SEED) == victim]
+    assert owned.shape[0] >= 100, "stream never touched the victim shard"
+    n_b = 0
+    for start in range(0, owned.shape[0], 100):
+        service.submit_insert(owned[start:start + 100]).wait(30)
+        n_b += 1
+
+    os.kill(rec.store.worker_pids[victim], signal.SIGKILL)
+    with pytest.raises(ReproError):
+        # WAL append lands (durable), then the store apply hits the dead
+        # pipe and stops the flusher.
+        service.submit_insert(owned[:50]).wait(30)
+    assert isinstance(service.fatal_error, ShardCrashError)
+    service.close()
+    rec.store.close()
+
+    rec2 = recover(tmp_path, config=CFG)
+    try:
+        assert rec2.n_shards == N_SHARDS
+        # Only the victim's tail replayed: phase-B appends plus the
+        # killed append (durable in the WAL, never applied).
+        assert rec2.replayed_records == n_b + 1
+        assert list_segments(tmp_path, prefix=shard_prefix(victim))
+        # Digest equals the durable prefix: A + B + the killed batch.
+        durable = np.vstack([edges, owned, owned[:50]])
+        assert store_digest(rec2.store) == _digest_of_prefix(durable)
+        assert rec2.fsck is not None and rec2.fsck.ok
+    finally:
+        rec2.store.close()
+
+    # The recovered directory serves again — and the service can keep
+    # appending to every shard.
+    service2, rec3 = GraphService.open(tmp_path, config=CFG,
+                                       flush_interval=0.002)
+    try:
+        service2.submit_insert(rmat_edges(8, 300, seed=13)).wait(30)
+        assert service2.fatal_error is None
+    finally:
+        service2.close()
+        rec3.store.close()
+
+
+def test_post_recovery_digest_equals_uncrashed_prefix(tmp_path):
+    """Crash with *no* checkpoint: every shard replays its whole chain
+    and the result equals exactly the batches whose tickets resolved."""
+    edges = rmat_edges(8, 1600, seed=21)
+    service, rec = GraphService.open(tmp_path, config=CFG,
+                                     flush_interval=0.002)
+    durable_rows = 0
+    for start in range(0, 1200, BATCH):
+        service.submit_insert(edges[start:start + BATCH]).wait(30)
+        durable_rows = start + BATCH
+    os.kill(rec.store.worker_pids[0], signal.SIGKILL)
+    with pytest.raises(ReproError):
+        service.submit_insert(edges[1200:1400]).wait(30)
+    service.close()
+    rec.store.close()
+
+    rec2 = recover(tmp_path, config=CFG)
+    try:
+        # The killed batch's WAL append preceded the failed apply, so the
+        # durable prefix is every waited batch plus that one record.
+        assert rec2.cum_edges == durable_rows + 200
+        assert store_digest(rec2.store) == \
+            _digest_of_prefix(edges[:rec2.cum_edges])
+    finally:
+        rec2.store.close()
+
+
+# --------------------------------------------------------------------- #
+# sharded WAL append retry: the resume token prevents duplication
+# --------------------------------------------------------------------- #
+def test_sharded_wal_retry_skips_landed_shards(tmp_path, monkeypatch):
+    wal = ShardedWriteAheadLog(tmp_path, N_SHARDS, seed=SEED)
+    edges = rmat_edges(7, 300, seed=9)
+    shard_ids = partition_of_array(edges[:, 0], N_SHARDS, SEED)
+    touched = sorted(set(shard_ids.tolist()))
+    assert len(touched) == N_SHARDS, "stream must touch every shard"
+
+    # First shard lands its sub-record, then the disk 'fails' once.
+    real_append = type(wal.shards[1]).append
+    fails = {"left": 1}
+
+    def flaky(self, *args, **kwargs):
+        if self.prefix == shard_prefix(1) and fails["left"]:
+            fails["left"] -= 1
+            raise OSError("injected transient append failure")
+        return real_append(self, *args, **kwargs)
+
+    monkeypatch.setattr(type(wal.shards[1]), "append", flaky)
+    with pytest.raises(OSError):
+        wal.append(OP_INSERT, edges)
+    assert wal.shards[0].last_seq == 1          # landed before the fault
+    assert wal.shards[1].last_seq == 0          # the faulted shard
+    # The service retries the identical append verbatim: already-landed
+    # shards are skipped, the rest complete, no row is duplicated.
+    seq = wal.append(OP_INSERT, edges)
+    assert [log.last_seq for log in wal.shards] == [1, 1, 1]
+    assert seq == wal.last_seq == 3
+    assert wal.cum_edges == edges.shape[0]
+    wal.close()
+
+    for k in touched:
+        rows = sum(
+            rec.edges.shape[0]
+            for rec in iter_records(tmp_path, prefix=shard_prefix(k)))
+        assert rows == int((shard_ids == k).sum()), f"shard {k} rows"
+
+
+def test_sharded_wal_different_batch_does_not_resume(tmp_path, monkeypatch):
+    """The resume token is per-batch: a *different* append after a fault
+    must not skip shards that the faulted batch had landed."""
+    wal = ShardedWriteAheadLog(tmp_path, N_SHARDS, seed=SEED)
+    a = rmat_edges(7, 300, seed=9)
+    b = rmat_edges(7, 300, seed=10)
+
+    real_append = type(wal.shards[1]).append
+    fails = {"left": 1}
+
+    def flaky(self, *args, **kwargs):
+        if self.prefix == shard_prefix(1) and fails["left"]:
+            fails["left"] -= 1
+            raise OSError("injected transient append failure")
+        return real_append(self, *args, **kwargs)
+
+    monkeypatch.setattr(type(wal.shards[1]), "append", flaky)
+    with pytest.raises(OSError):
+        wal.append(OP_INSERT, a)
+    wal.append(OP_INSERT, b)  # different batch: full routing, no skips
+    b_ids = partition_of_array(b[:, 0], N_SHARDS, SEED)
+    for k in range(N_SHARDS):
+        expect = int((b_ids == k).sum())
+        if k == 0:  # shard 0 also carries batch a's landed sub-record
+            a_ids = partition_of_array(a[:, 0], N_SHARDS, SEED)
+            expect += int((a_ids == 0).sum())
+        rows = sum(
+            rec.edges.shape[0]
+            for rec in iter_records(tmp_path, prefix=shard_prefix(k)))
+        assert rows == expect, f"shard {k}"
+    wal.close()
